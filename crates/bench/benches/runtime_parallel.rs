@@ -1,0 +1,55 @@
+//! Real-silicon benches of the MFLOW split/merge pipeline: serial vs 2/4
+//! worker threads over real VXLAN frames (the runtime analogue of Figure
+//! 8a), and throughput vs micro-flow batch size (the analogue of Figure 7's
+//! overhead story — tiny batches pay real merge/channel overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mflow_runtime::{generate_frames, process_parallel, process_serial, RuntimeConfig};
+
+fn bench_workers(c: &mut Criterion) {
+    let frames = generate_frames(4_096, 1_400);
+    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| process_serial(&frames).digests.len())
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mflow", workers),
+            &workers,
+            |b, &workers| {
+                let cfg = RuntimeConfig {
+                    workers,
+                    batch_size: 256,
+                    queue_depth: 8,
+                };
+                b.iter(|| process_parallel(&frames, &cfg).digests.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let frames = generate_frames(4_096, 1_400);
+    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let mut group = c.benchmark_group("runtime_batch_size");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for batch in [1usize, 16, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let cfg = RuntimeConfig {
+                workers: 2,
+                batch_size: batch,
+                queue_depth: 16,
+            };
+            b.iter(|| process_parallel(&frames, &cfg).digests.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers, bench_batch_size);
+criterion_main!(benches);

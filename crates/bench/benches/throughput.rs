@@ -1,0 +1,60 @@
+//! Criterion benches over the simulator: wall-clock cost of regenerating
+//! the headline single-flow cells (one bench per Figure 8a column family),
+//! plus a guard that the simulated results keep their paper shape. These
+//! double as performance-regression tests for the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mflow_netstack::Transport;
+use mflow_sim::MS;
+use mflow_workloads::sockperf::{throughput, SockperfOpts};
+use mflow_workloads::System;
+
+fn opts() -> SockperfOpts {
+    SockperfOpts {
+        duration_ns: 10 * MS,
+        warmup_ns: 3 * MS,
+        ..Default::default()
+    }
+}
+
+fn bench_single_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_single_flow_64k");
+    group.sample_size(10);
+    for sys in [System::Native, System::Vanilla, System::FalconFun, System::Mflow] {
+        group.bench_function(format!("tcp_{}", sys.name()), |b| {
+            b.iter(|| {
+                let r = throughput(sys, Transport::Tcp, 65536, &opts());
+                assert!(r.goodput_gbps > 1.0);
+                r.delivered_bytes
+            })
+        });
+    }
+    for sys in [System::Vanilla, System::Mflow] {
+        group.bench_function(format!("udp_{}", sys.name()), |b| {
+            b.iter(|| {
+                let r = throughput(sys, Transport::Udp, 65536, &opts());
+                assert!(r.goodput_gbps > 0.5);
+                r.delivered_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shape_guard(c: &mut Criterion) {
+    // One run per iteration that asserts the headline ordering, so a cost
+    // or policy regression fails the bench run loudly.
+    c.bench_function("sim_headline_shape_guard", |b| {
+        b.iter(|| {
+            let o = opts();
+            let vanilla = throughput(System::Vanilla, Transport::Tcp, 65536, &o).goodput_gbps;
+            let native = throughput(System::Native, Transport::Tcp, 65536, &o).goodput_gbps;
+            let mflow = throughput(System::Mflow, Transport::Tcp, 65536, &o).goodput_gbps;
+            assert!(mflow > native && native > vanilla);
+            (vanilla, native, mflow)
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_flow, bench_shape_guard);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benches of the wire-format substrate: building and fully
+//! verifying VXLAN overlay frames, and the Toeplitz RSS hash — the raw
+//! per-packet costs the simulator's cost model abstracts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mflow_net::frame::{build_overlay_frame, parse_overlay_frame, OverlayFrameSpec};
+use mflow_net::toeplitz::rss_hash_v4;
+
+fn bench_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_frame");
+    group.sample_size(30);
+    for payload in [64usize, 1448] {
+        let spec = OverlayFrameSpec::example_tcp(1, 42, vec![0xAB; payload]);
+        let frame = build_overlay_frame(&spec);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build", payload),
+            &spec,
+            |b, spec| b.iter(|| build_overlay_frame(spec).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parse_verify", payload),
+            &frame,
+            |b, frame| b.iter(|| parse_overlay_frame(frame).unwrap().payload.len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rss");
+    group.sample_size(30);
+    group.bench_function("toeplitz_rss_hash", |b| {
+        let mut port = 0u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            rss_hash_v4([10, 0, 0, 1], [10, 0, 0, 2], 40_000 + (port % 1000), 5201)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frames, bench_rss);
+criterion_main!(benches);

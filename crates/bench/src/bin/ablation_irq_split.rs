@@ -1,0 +1,64 @@
+//! Ablation: flow-splitting alone vs IRQ-splitting (§III-A).
+//!
+//! The flow-splitting function can only parallelize stages *after* skbs
+//! exist, so per-packet skb allocation stays on the IRQ core and becomes
+//! the bottleneck (exactly what the paper observed after scaling VXLAN,
+//! and why FALCON's function-level pipelining stalls there too). The
+//! IRQ-splitting function dispatches raw packet requests before
+//! allocation, removing that wall. This binary isolates the two
+//! mechanisms on a single 64 KB TCP flow.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin ablation_irq_split
+//! ```
+
+use mflow::{install, MflowConfig, ScalingMode};
+use mflow_bench::{durations, gbps};
+use mflow_metrics::Table;
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, Stage};
+
+fn run(mcfg: MflowConfig) -> (f64, f64) {
+    let (duration_ns, warmup_ns) = durations();
+    let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+    cfg.duration_ns = duration_ns;
+    cfg.warmup_ns = warmup_ns;
+    let (policy, merge) = install(mcfg);
+    let r = StackSim::run(cfg, policy, Some(merge));
+    let irq_core_util = r.cpu.utilization_pct(1, r.duration_ns);
+    (r.goodput_gbps, irq_core_util)
+}
+
+fn main() {
+    println!("\nAblation: where the flow is split (TCP 64 KB single flow)\n");
+    let mut t = Table::new(["mechanism", "split before", "Gbps", "IRQ-core util %"]);
+
+    // 1. Flow-splitting at the VXLAN device: skb allocation (and GRO) stay
+    //    on the IRQ core.
+    let mut dev = MflowConfig::tcp_full_path();
+    dev.mode = ScalingMode::Device {
+        split_into: Stage::OuterIp,
+    };
+    dev.branch_tails = None;
+    let (g, u) = run(dev);
+    t.row(["flow-splitting".to_string(), "vxlan".into(), gbps(g), format!("{u:.0}")]);
+
+    // 2. Flow-splitting one stage earlier (before GRO).
+    let mut gro = MflowConfig::tcp_full_path();
+    gro.mode = ScalingMode::Device {
+        split_into: Stage::Gro,
+    };
+    gro.branch_tails = None;
+    let (g, u) = run(gro);
+    t.row(["flow-splitting".to_string(), "gro".into(), gbps(g), format!("{u:.0}")]);
+
+    // 3. IRQ-splitting: requests dispatched before skb allocation; the
+    //    paper's full-path configuration.
+    let (g, u) = run(MflowConfig::tcp_full_path());
+    t.row(["irq-splitting".to_string(), "skb alloc".into(), gbps(g), format!("{u:.0}")]);
+
+    print!("{}", t.render());
+    println!(
+        "\nSplitting after allocation leaves the IRQ core saturated by per-packet \
+         skb work; only the IRQ-splitting function scales the full path."
+    );
+}

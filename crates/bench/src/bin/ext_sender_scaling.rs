@@ -1,0 +1,52 @@
+//! Extension experiment (the paper's future work, §VII): the sender-side
+//! bottleneck.
+//!
+//! The paper closes by naming two remaining walls: the UDP *clients* and
+//! the receiver's single copy thread. This binary applies an MFLOW-style
+//! split to the sender's `sendmsg` path (fragmentation/copy parallelized
+//! over `tx_cores`, syscall serial) and measures how far one UDP client
+//! then pushes an MFLOW receiver with 1 KB datagrams — until the receiver
+//! becomes the wall again.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin ext_sender_scaling
+//! ```
+
+use mflow::{install, MflowConfig};
+use mflow_bench::{durations, gbps, save};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
+
+fn run(tx_cores: u32) -> (f64, f64) {
+    let (duration_ns, warmup_ns) = durations();
+    // 1 KB datagrams: the regime where our calibrated single client cannot
+    // feed an MFLOW receiver (per-fragment sendmsg work dominates).
+    let mut flow = FlowSpec::udp(1024, 0);
+    flow.tx_cores = tx_cores;
+    let mut cfg = StackConfig::single_flow(PathKind::Overlay, flow);
+    cfg.duration_ns = duration_ns;
+    cfg.warmup_ns = warmup_ns;
+    let (policy, merge) = install(MflowConfig::udp_device_scaling());
+    let r = StackSim::run(cfg, policy, Some(merge));
+    let client_busy = r.client_cpu.busy_ns(0) as f64 / duration_ns as f64 * 100.0;
+    (r.goodput_gbps, client_busy)
+}
+
+fn main() {
+    println!("\nExtension: scaling the sender (single UDP client, 1 KB datagrams, MFLOW receiver)\n");
+    let mut t = Table::new(["tx cores", "Gbps", "client core util %"]);
+    let mut set = SeriesSet::new("ext sender scaling", "tx cores", "Gbps");
+    let s = set.add("mflow-tx");
+    for tx in [1u32, 2, 3, 4] {
+        let (g, busy) = run(tx);
+        s.push(tx as f64, g);
+        t.row([format!("{tx}"), gbps(g), format!("{busy:.0}")]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nOne client alone cannot feed an MFLOW receiver; splitting the sender's \
+         per-fragment work recovers the receiver-bound throughput that the paper \
+         needed three client machines to reach."
+    );
+    save("ext_sender_scaling", &set);
+}

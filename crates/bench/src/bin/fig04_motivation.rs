@@ -1,0 +1,74 @@
+//! Figure 4 — motivation: throughput and per-core CPU utilization of the
+//! native host network, vanilla container overlay, RPS and FALCON, for a
+//! single TCP or UDP flow across message sizes.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig04_motivation [-- --cpu]
+//! ```
+
+use mflow_bench::{durations, gbps, save};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_netstack::Transport;
+use mflow_workloads::sockperf::{throughput, SockperfOpts, MSG_SIZES};
+use mflow_workloads::System;
+
+fn main() {
+    let show_cpu = std::env::args().any(|a| a == "--cpu");
+    let (duration_ns, warmup_ns) = durations();
+    let opts = SockperfOpts {
+        duration_ns,
+        warmup_ns,
+        ..Default::default()
+    };
+    // Figure 4 predates MFLOW: it compares the baselines only.
+    let systems = [
+        System::Native,
+        System::Vanilla,
+        System::Rps,
+        System::FalconDev,
+        System::FalconFun,
+    ];
+
+    for transport in [Transport::Tcp, Transport::Udp] {
+        let tname = match transport {
+            Transport::Tcp => "TCP",
+            Transport::Udp => "UDP",
+        };
+        println!("\nFigure 4a ({tname}): single-flow throughput (Gbps)\n");
+        let mut header: Vec<String> = vec!["msg size".into()];
+        header.extend(systems.iter().map(|s| s.name().to_string()));
+        let mut table = Table::new(header);
+        let mut set = SeriesSet::new(
+            format!("Fig 4a {tname}"),
+            "message size (B)",
+            "throughput (Gbps)",
+        );
+        for s in systems {
+            set.add(s.name());
+        }
+        for &size in &MSG_SIZES {
+            let mut row = vec![format!("{size}")];
+            for s in systems {
+                let r = throughput(s, transport, size, &opts);
+                row.push(gbps(r.goodput_gbps));
+                set.series
+                    .iter_mut()
+                    .find(|ser| ser.name == s.name())
+                    .unwrap()
+                    .push(size as f64, r.goodput_gbps);
+            }
+            table.row(row);
+        }
+        print!("{}", table.render());
+        save(&format!("fig04a_{}", tname.to_lowercase()), &set);
+
+        if show_cpu {
+            println!("\nFigure 4b ({tname}): per-core CPU utilization at 64 KB\n");
+            for s in systems {
+                let r = throughput(s, transport, 65536, &opts);
+                println!("--- {} ---", s.name());
+                print!("{}", r.cpu.render(r.duration_ns));
+            }
+        }
+    }
+}

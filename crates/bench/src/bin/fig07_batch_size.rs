@@ -1,0 +1,90 @@
+//! Figure 7 — out-of-order packet delivery vs micro-flow batch size
+//! (single TCP flow, 64 KB messages, 2 splitting cores, background noise
+//! on so parallel branches actually drift).
+//!
+//! With `--ablate`, also sweeps the number of splitting cores and the
+//! throughput effect of the batch size (the §III-A parameter discussion).
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig07_batch_size [-- --ablate]
+//! ```
+
+use mflow::{install, MflowConfig};
+use mflow_bench::{durations, gbps, save};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
+
+fn run_with_batch(batch: u32, split_cores: Vec<usize>, tails: Option<Vec<usize>>) -> (f64, u64, u64) {
+    let (duration_ns, warmup_ns) = durations();
+    let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+    cfg.duration_ns = duration_ns;
+    cfg.warmup_ns = warmup_ns;
+    // Noise on: this experiment measures exactly the disorder noise causes.
+    assert!(cfg.noise.enabled);
+    let mut mcfg = MflowConfig::tcp_full_path();
+    mcfg.batch_size = batch;
+    mcfg.split_cores = split_cores;
+    mcfg.branch_tails = tails;
+    let (policy, merge) = install(mcfg);
+    let r = StackSim::run(cfg, policy, Some(merge));
+    (r.goodput_gbps, r.ooo_merge_input, r.delivered_bytes / 1448)
+}
+
+fn main() {
+    let ablate = std::env::args().any(|a| a == "--ablate");
+
+    println!("\nFigure 7: out-of-order deliveries at the merge point vs batch size");
+    println!("(TCP 64 KB, 2 splitting cores, interference noise on)\n");
+    let mut table = Table::new(["batch size", "OOO / 100k pkts", "throughput Gbps"]);
+    let mut set = SeriesSet::new(
+        "Fig 7",
+        "micro-flow batch size (packets)",
+        "out-of-order deliveries per 100k packets",
+    );
+    let ooo_series = set.add("ooo");
+    for batch in [1u32, 4, 16, 64, 128, 256, 512, 1024] {
+        let (tput, ooo, pkts) = run_with_batch(batch, vec![2, 3], Some(vec![4, 5]));
+        let per_100k = ooo as f64 * 100_000.0 / pkts.max(1) as f64;
+        ooo_series.push(batch as f64, per_100k);
+        table.row([format!("{batch}"), format!("{per_100k:.0}"), gbps(tput)]);
+    }
+    print!("{}", table.render());
+    save("fig07", &set);
+
+    if ablate {
+        println!("\nAblation: number of splitting cores (batch 256, TCP 64 KB)\n");
+        let mut t = Table::new(["split cores", "throughput Gbps"]);
+        let mut set = SeriesSet::new("Ablation split cores", "splitting cores", "Gbps");
+        let s = set.add("mflow");
+        for n in 1..=4usize {
+            let lanes: Vec<usize> = (2..2 + n).collect();
+            // Without enough physically distinct tail cores the branches
+            // share their lane core end to end.
+            let (tput, _, _) = run_with_batch(256, lanes, None);
+            s.push(n as f64, tput);
+            t.row([format!("{n}"), gbps(tput)]);
+        }
+        print!("{}", t.render());
+        save("ablation_split_cores", &set);
+
+        println!("\nAblation: early vs late merge for UDP device scaling\n");
+        // Early merge (before the transport) vs the paper's late merge
+        // (before the user copy) — §III-B's "merge as late as possible".
+        use mflow_netstack::{Stage, Transport};
+        let (duration_ns, warmup_ns) = durations();
+        let mut t = Table::new(["merge point", "throughput Gbps"]);
+        for (label, merge_before) in [("before UDP rx (early)", Stage::UdpRx), ("before user copy (late)", Stage::UserCopy)] {
+            let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::udp(65536, 0));
+            cfg.flows = vec![FlowSpec::udp(65536, 0); 3];
+            cfg.duration_ns = duration_ns;
+            cfg.warmup_ns = warmup_ns;
+            let mcfg = MflowConfig::udp_device_scaling();
+            let (policy, mut merge) = install(mcfg);
+            merge.before = merge_before;
+            let r = StackSim::run(cfg, policy, Some(merge));
+            let _ = Transport::Udp;
+            t.row([label.to_string(), gbps(r.goodput_gbps)]);
+        }
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 8 — single-flow throughput of all five systems (8a) and MFLOW's
+//! per-core CPU breakdown (8b) for TCP (full-path scaling) and UDP (device
+//! scaling of VXLAN).
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig08_throughput [-- --cpu]
+//! ```
+
+use mflow_bench::{durations, gbps, save};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_netstack::Transport;
+use mflow_workloads::sockperf::{throughput, SockperfOpts, MSG_SIZES};
+use mflow_workloads::System;
+
+fn main() {
+    let show_cpu = std::env::args().any(|a| a == "--cpu");
+    let (duration_ns, warmup_ns) = durations();
+    let opts = SockperfOpts {
+        duration_ns,
+        warmup_ns,
+        ..Default::default()
+    };
+
+    for transport in [Transport::Tcp, Transport::Udp] {
+        let tname = match transport {
+            Transport::Tcp => "TCP",
+            Transport::Udp => "UDP",
+        };
+        println!("\nFigure 8a ({tname}): single-flow throughput (Gbps)\n");
+        let mut header: Vec<String> = vec!["msg size".into()];
+        header.extend(System::ALL.iter().map(|s| s.name().to_string()));
+        let mut table = Table::new(header);
+        let mut set = SeriesSet::new(
+            format!("Fig 8a {tname}"),
+            "message size (B)",
+            "throughput (Gbps)",
+        );
+        for s in System::ALL {
+            set.add(s.name());
+        }
+        for &size in &MSG_SIZES {
+            let mut row = vec![format!("{size}")];
+            for s in System::ALL {
+                let r = throughput(s, transport, size, &opts);
+                row.push(gbps(r.goodput_gbps));
+                set.series
+                    .iter_mut()
+                    .find(|ser| ser.name == s.name())
+                    .unwrap()
+                    .push(size as f64, r.goodput_gbps);
+            }
+            table.row(row);
+        }
+        print!("{}", table.render());
+
+        // Headline comparison at 64 KB, as the paper reports in §V-A.
+        let vanilla = set.get("vanilla").unwrap().y_at(65536.0).unwrap();
+        let mflow = set.get("mflow").unwrap().y_at(65536.0).unwrap();
+        let native = set.get("native").unwrap().y_at(65536.0).unwrap();
+        println!(
+            "\n64 KB headline: mflow {mflow:.1} vs vanilla {vanilla:.1} Gbps \
+             (+{:.0}%), native {native:.1}",
+            (mflow / vanilla - 1.0) * 100.0
+        );
+        save(&format!("fig08a_{}", tname.to_lowercase()), &set);
+
+        if show_cpu {
+            println!("\nFigure 8b ({tname}): MFLOW per-core CPU utilization at 64 KB\n");
+            let r = throughput(System::Mflow, transport, 65536, &opts);
+            print!("{}", r.cpu.render(r.duration_ns));
+            println!(
+                "(core 0 = merge + tcp/udp recv + user copy; core 1 = dispatch; \
+                 cores 2/3 = splitting; cores 4/5 = branch tails for TCP)"
+            );
+        }
+    }
+}

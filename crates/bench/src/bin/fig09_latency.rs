@@ -1,0 +1,87 @@
+//! Figure 9 — single-flow message latency under load: each system paced at
+//! 85 % of its own measured capacity (the paper drives each case to its
+//! maximum throughput before drops), reporting median / mean / 99th
+//! percentile across message sizes.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig09_latency
+//! ```
+
+use mflow_bench::{durations, save, us};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_netstack::Transport;
+use mflow_workloads::sockperf::{latency, SockperfOpts};
+use mflow_workloads::System;
+
+const LOAD: f64 = 0.92;
+const SIZES: [u64; 3] = [1024, 16384, 65536];
+
+fn main() {
+    let (duration_ns, warmup_ns) = durations();
+    let opts = SockperfOpts {
+        duration_ns,
+        warmup_ns,
+        noise: true,
+        ..Default::default()
+    };
+
+    for transport in [Transport::Tcp, Transport::Udp] {
+        let tname = match transport {
+            Transport::Tcp => "TCP",
+            Transport::Udp => "UDP",
+        };
+        println!(
+            "\nFigure 9 ({tname}): message latency at {:.0}% of each system's capacity (us)\n",
+            LOAD * 100.0
+        );
+        let mut table = Table::new(["msg size", "system", "p50", "mean", "p99"]);
+        let mut p50_set = SeriesSet::new(
+            format!("Fig 9 {tname} p50"),
+            "message size (B)",
+            "median latency (us)",
+        );
+        let mut p99_set = SeriesSet::new(
+            format!("Fig 9 {tname} p99"),
+            "message size (B)",
+            "p99 latency (us)",
+        );
+        for s in System::ALL {
+            p50_set.add(s.name());
+            p99_set.add(s.name());
+        }
+        for &size in &SIZES {
+            for s in System::ALL {
+                let r = latency(s, transport, size, LOAD, &opts);
+                table.row([
+                    format!("{size}"),
+                    s.name().to_string(),
+                    us(r.latency.median()),
+                    us(r.latency.mean() as u64),
+                    us(r.latency.p99()),
+                ]);
+                p50_set
+                    .series
+                    .iter_mut()
+                    .find(|ser| ser.name == s.name())
+                    .unwrap()
+                    .push(size as f64, r.latency.median() as f64 / 1e3);
+                p99_set
+                    .series
+                    .iter_mut()
+                    .find(|ser| ser.name == s.name())
+                    .unwrap()
+                    .push(size as f64, r.latency.p99() as f64 / 1e3);
+            }
+        }
+        print!("{}", table.render());
+        // Headline: median reduction vs vanilla overlay at 64 KB.
+        let v = p50_set.get("vanilla").unwrap().y_at(65536.0).unwrap();
+        let m = p50_set.get("mflow").unwrap().y_at(65536.0).unwrap();
+        println!(
+            "\n64 KB {tname}: MFLOW median latency {:.0}% lower than vanilla overlay",
+            (1.0 - m / v) * 100.0
+        );
+        save(&format!("fig09_{}_p50", tname.to_lowercase()), &p50_set);
+        save(&format!("fig09_{}_p99", tname.to_lowercase()), &p99_set);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 10 — multi-flow TCP throughput: 1–20 concurrent flows on the
+//! paper's controlled layout (5 application cores, 10 kernel cores), for
+//! message sizes 16 B, 4 KB and 64 KB.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig10_multiflow
+//! ```
+
+use mflow_bench::{durations, gbps, save};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_workloads::multiflow::{run, MultiFlowOpts};
+use mflow_workloads::System;
+
+const FLOW_COUNTS: [usize; 5] = [1, 2, 5, 10, 20];
+const SYSTEMS: [System; 4] = [
+    System::Vanilla,
+    System::FalconDev,
+    System::FalconFun,
+    System::Mflow,
+];
+
+fn main() {
+    let (duration_ns, warmup_ns) = durations();
+    let opts = MultiFlowOpts {
+        duration_ns,
+        warmup_ns,
+        ..Default::default()
+    };
+
+    for &msg in &[16u64, 4096, 65536] {
+        println!("\nFigure 10 ({msg} B messages): aggregate TCP throughput (Gbps)\n");
+        let mut header: Vec<String> = vec!["flows".into()];
+        header.extend(SYSTEMS.iter().map(|s| s.name().to_string()));
+        let mut table = Table::new(header);
+        let mut set = SeriesSet::new(
+            format!("Fig 10 {msg}B"),
+            "concurrent flows",
+            "aggregate throughput (Gbps)",
+        );
+        for s in SYSTEMS {
+            set.add(s.name());
+        }
+        for &n in &FLOW_COUNTS {
+            let mut row = vec![format!("{n}")];
+            for s in SYSTEMS {
+                let r = run(s, n, msg, &opts);
+                row.push(gbps(r.goodput_gbps));
+                set.series
+                    .iter_mut()
+                    .find(|ser| ser.name == s.name())
+                    .unwrap()
+                    .push(n as f64, r.goodput_gbps);
+            }
+            table.row(row);
+        }
+        print!("{}", table.render());
+        if msg == 4096 {
+            let v = set.get("vanilla").unwrap();
+            let m = set.get("mflow").unwrap();
+            for n in [5.0, 10.0, 20.0] {
+                let gain = m.y_at(n).unwrap() / v.y_at(n).unwrap() - 1.0;
+                println!("  {n:.0} flows: MFLOW vs vanilla {:+.0}%", gain * 100.0);
+            }
+        }
+        save(&format!("fig10_{msg}b"), &set);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 11 — CloudSuite Web Serving with 200 users: successful
+//! operations (11a), average response time (11b) and delay time (11c) per
+//! operation type, under vanilla overlay, FALCON and MFLOW.
+//!
+//! Layered experiment: each system's exchange profile (latency
+//! distribution + message capacity) is measured on the packet-level
+//! simulator under multi-connection load, then the Elgg-like closed-loop
+//! application model runs against it.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig11_webserving
+//! ```
+
+use mflow_bench::{durations, quick_mode, save, us};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_sim::MS;
+use mflow_workloads::datacaching::CachingOpts;
+use mflow_workloads::webserving::{run, WebOpts};
+use mflow_workloads::{StackProfile, System};
+
+const SYSTEMS: [System; 3] = [System::Vanilla, System::FalconDev, System::Mflow];
+
+fn main() {
+    let (duration_ns, warmup_ns) = durations();
+    // Exchange profiles under a loaded stack (10-client data-caching
+    // traffic shape, as the web tiers produce similar small-message fan-in).
+    let profile_opts = CachingOpts {
+        n_clients: 10,
+        conns_per_client: 2,
+        duration_ns,
+        warmup_ns,
+        ..Default::default()
+    };
+    let web_opts = WebOpts {
+        duration_ns: if quick_mode() { 4_000 * MS } else { 20_000 * MS },
+        ..Default::default()
+    };
+
+    let mut success = SeriesSet::new("Fig 11a", "operation", "successful ops/min");
+    let mut resp = SeriesSet::new("Fig 11b", "operation", "avg response time (us)");
+    let mut delay = SeriesSet::new("Fig 11c", "operation", "avg delay time (us)");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for sys in SYSTEMS {
+        let profile = StackProfile::measure(sys, &profile_opts);
+        let result = run(&profile, &web_opts);
+        let s_series = success.add(sys.name());
+        for (i, op) in result.per_op.iter().enumerate() {
+            s_series.push_labelled(
+                i as f64,
+                op.success_per_min(result.duration_ns),
+                op.name,
+            );
+        }
+        let r_series = resp.add(sys.name());
+        let d_series = delay.add(sys.name());
+        for (i, op) in result.per_op.iter().enumerate() {
+            r_series.push_labelled(i as f64, op.response.mean() / 1e3, op.name);
+            d_series.push_labelled(i as f64, op.delay.mean() / 1e3, op.name);
+        }
+        for op in &result.per_op {
+            rows.push(vec![
+                sys.name().to_string(),
+                op.name.to_string(),
+                format!("{:.0}", op.success_per_min(result.duration_ns)),
+                us(op.response.mean() as u64),
+                us(op.delay.mean() as u64),
+            ]);
+        }
+        println!(
+            "{:<11} exchange profile: p50 {:>6.1}us p99 {:>7.1}us capacity {:>9.0} msg/s  -> total {:>7.0} success ops/min",
+            sys.name(),
+            profile.p50_ns as f64 / 1e3,
+            profile.p99_ns as f64 / 1e3,
+            profile.msgs_per_sec,
+            result.total_success_per_min(),
+        );
+    }
+
+    println!("\nFigure 11: per-operation results (200 users)\n");
+    let mut table = Table::new(["system", "operation", "success/min", "resp us", "delay us"]);
+    for row in rows {
+        table.row(row);
+    }
+    print!("{}", table.render());
+
+    // Headline ratios at the bottom, as §V-B reports.
+    let v: f64 = success.get("vanilla").unwrap().points.iter().map(|p| p.y).sum();
+    let m: f64 = success.get("mflow").unwrap().points.iter().map(|p| p.y).sum();
+    let f: f64 = success.get("falcon-dev").unwrap().points.iter().map(|p| p.y).sum();
+    println!("\ntotal successful ops: mflow/vanilla = {:.1}x, mflow/falcon = {:.1}x", m / v, m / f);
+
+    save("fig11a_success", &success);
+    save("fig11b_response", &resp);
+    save("fig11c_delay", &delay);
+}

@@ -1,0 +1,62 @@
+//! Figure 12 — CPU load distribution across the 10 kernel cores with 10
+//! concurrent 64 KB TCP flows: FALCON's static device placement vs
+//! MFLOW's balanced micro-flow distribution, plus MFLOW's CPU overhead.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig12_cpu_balance
+//! ```
+
+use mflow_bench::{durations, save};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_workloads::multiflow::{run_with_balance, MultiFlowOpts};
+use mflow_workloads::System;
+
+fn main() {
+    let (duration_ns, warmup_ns) = durations();
+    let opts = MultiFlowOpts {
+        duration_ns,
+        warmup_ns,
+        // The paper's Figure 12 is measured on a live system; keep noise on
+        // so neither policy gets an artificially perfect distribution.
+        noise: true,
+        ..Default::default()
+    };
+    println!("\nFigure 12: per-core CPU utilization, 10 TCP flows x 64 KB\n");
+    let mut table = Table::new(["core", "falcon-dev %", "mflow %"]);
+    let falcon = run_with_balance(System::FalconDev, 10, 65536, &opts);
+    let mflow = run_with_balance(System::Mflow, 10, 65536, &opts);
+    let f_utils = falcon.report.core_utilization(&opts.layout.kernel_cores);
+    let m_utils = mflow.report.core_utilization(&opts.layout.kernel_cores);
+    let mut set = SeriesSet::new("Fig 12", "kernel core", "CPU utilization (%)");
+    let fs = set.add("falcon-dev");
+    for (i, &u) in f_utils.iter().enumerate() {
+        fs.push(i as f64, u);
+    }
+    let ms = set.add("mflow");
+    for (i, &u) in m_utils.iter().enumerate() {
+        ms.push(i as f64, u);
+    }
+    for (i, (f, m)) in f_utils.iter().zip(&m_utils).enumerate() {
+        table.row([
+            format!("{}", opts.layout.kernel_cores[i]),
+            format!("{f:.1}"),
+            format!("{m:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nstddev of per-core utilization: falcon {:.1} vs mflow {:.1} (paper: 20.5 vs 11.6)",
+        falcon.util_stddev, mflow.util_stddev
+    );
+    println!(
+        "mean utilization (MFLOW's steering overhead): falcon {:.1}% vs mflow {:.1}% ({:+.0}%)",
+        falcon.util_mean,
+        mflow.util_mean,
+        (mflow.util_mean / falcon.util_mean.max(1e-9) - 1.0) * 100.0
+    );
+    println!(
+        "throughput: falcon {:.1} vs mflow {:.1} Gbps",
+        falcon.report.goodput_gbps, mflow.report.goodput_gbps
+    );
+    save("fig12", &set);
+}

@@ -1,0 +1,68 @@
+//! Figure 13 — CloudSuite Data Caching (memcached, 4 threads, 550 B
+//! objects): average and 99th-percentile request latency with 1 and 10
+//! clients, under vanilla overlay, FALCON and MFLOW.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin fig13_datacaching
+//! ```
+
+use mflow_bench::{durations, save, us};
+use mflow_metrics::{SeriesSet, Table};
+use mflow_workloads::datacaching::{run, CachingOpts};
+use mflow_workloads::System;
+
+const SYSTEMS: [System; 3] = [System::Vanilla, System::FalconDev, System::Mflow];
+
+fn main() {
+    let (duration_ns, warmup_ns) = durations();
+    println!("\nFigure 13: data caching latency (550 B objects, 4 server threads)\n");
+    let mut table = Table::new(["clients", "system", "avg us", "p99 us", "req/s"]);
+    let mut avg_set = SeriesSet::new("Fig 13 avg", "clients", "avg latency (us)");
+    let mut p99_set = SeriesSet::new("Fig 13 p99", "clients", "p99 latency (us)");
+    for s in SYSTEMS {
+        avg_set.add(s.name());
+        p99_set.add(s.name());
+    }
+    for &clients in &[1usize, 10] {
+        let opts = CachingOpts {
+            n_clients: clients,
+            duration_ns,
+            warmup_ns,
+            ..Default::default()
+        };
+        for s in SYSTEMS {
+            let r = run(s, &opts);
+            table.row([
+                format!("{clients}"),
+                s.name().to_string(),
+                us(r.avg_ns as u64),
+                us(r.p99_ns),
+                format!("{:.0}", r.rps),
+            ]);
+            avg_set
+                .series
+                .iter_mut()
+                .find(|ser| ser.name == s.name())
+                .unwrap()
+                .push(clients as f64, r.avg_ns / 1e3);
+            p99_set
+                .series
+                .iter_mut()
+                .find(|ser| ser.name == s.name())
+                .unwrap()
+                .push(clients as f64, r.p99_ns as f64 / 1e3);
+        }
+    }
+    print!("{}", table.render());
+    let v_avg = avg_set.get("vanilla").unwrap().y_at(10.0).unwrap();
+    let m_avg = avg_set.get("mflow").unwrap().y_at(10.0).unwrap();
+    let v_p99 = p99_set.get("vanilla").unwrap().y_at(10.0).unwrap();
+    let m_p99 = p99_set.get("mflow").unwrap().y_at(10.0).unwrap();
+    println!(
+        "\n10 clients: MFLOW vs vanilla overlay: avg {:-.0}%, p99 {:-.0}% (paper: -48%, -47%)",
+        (m_avg / v_avg - 1.0) * 100.0,
+        (m_p99 / v_p99 - 1.0) * 100.0
+    );
+    save("fig13_avg", &avg_set);
+    save("fig13_p99", &p99_set);
+}

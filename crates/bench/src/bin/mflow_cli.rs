@@ -1,0 +1,160 @@
+//! `mflow-cli` — run any single scenario from the command line and print
+//! the full report: throughput, latency distribution, drops, ordering
+//! stats and the per-core CPU breakdown.
+//!
+//! ```text
+//! cargo run -p mflow-bench --release --bin mflow_cli -- \
+//!     --system mflow --transport tcp --msg 65536 --duration-ms 60 \
+//!     [--flows N] [--batch 256] [--seed 42] [--no-noise] [--cpu]
+//! ```
+
+use mflow::{install, MflowConfig};
+use mflow_netstack::{
+    FlowSpec, NoiseConfig, StackConfig, StackSim, Transport,
+};
+use mflow_sim::MS;
+use mflow_workloads::sockperf::UDP_CLIENTS;
+use mflow_workloads::System;
+
+struct Args {
+    system: System,
+    transport: Transport,
+    msg: u64,
+    duration_ms: u64,
+    flows: usize,
+    batch: u32,
+    seed: u64,
+    noise: bool,
+    cpu: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mflow_cli [--system native|vanilla|rps|falcon-dev|falcon-fun|mflow]\n\
+         \x20                [--transport tcp|udp] [--msg BYTES] [--duration-ms MS]\n\
+         \x20                [--flows N] [--batch PKTS] [--seed N] [--no-noise] [--cpu]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        system: System::Mflow,
+        transport: Transport::Tcp,
+        msg: 65536,
+        duration_ms: 60,
+        flows: 0, // 0 = transport default
+        batch: 256,
+        seed: 42,
+        noise: true,
+        cpu: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--system" => {
+                args.system = match value(&mut i).as_str() {
+                    "native" => System::Native,
+                    "vanilla" => System::Vanilla,
+                    "rps" => System::Rps,
+                    "falcon-dev" => System::FalconDev,
+                    "falcon-fun" => System::FalconFun,
+                    "mflow" => System::Mflow,
+                    other => {
+                        eprintln!("unknown system '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--transport" => {
+                args.transport = match value(&mut i).as_str() {
+                    "tcp" => Transport::Tcp,
+                    "udp" => Transport::Udp,
+                    other => {
+                        eprintln!("unknown transport '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--msg" => args.msg = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--duration-ms" => {
+                args.duration_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--flows" => args.flows = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-noise" => args.noise = false,
+            "--cpu" => args.cpu = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let flow = match a.transport {
+        Transport::Tcp => FlowSpec::tcp(a.msg, 0),
+        Transport::Udp => FlowSpec::udp(a.msg, 0),
+    };
+    let n_flows = if a.flows > 0 {
+        a.flows
+    } else if a.transport == Transport::Udp {
+        UDP_CLIENTS
+    } else {
+        1
+    };
+    let mut cfg = StackConfig::single_flow(a.system.path(), flow.clone());
+    cfg.flows = vec![flow; n_flows];
+    cfg.duration_ns = a.duration_ms * MS;
+    cfg.warmup_ns = cfg.duration_ns / 4;
+    cfg.seed = a.seed;
+    if !a.noise {
+        cfg.noise = NoiseConfig::off();
+    }
+    let (policy, merge) = if a.system == System::Mflow {
+        let mut mcfg = match a.transport {
+            Transport::Tcp => MflowConfig::tcp_full_path(),
+            Transport::Udp => MflowConfig::udp_device_scaling(),
+        };
+        mcfg.batch_size = a.batch;
+        let (p, m) = install(mcfg);
+        (p, Some(m))
+    } else {
+        a.system.build_single_flow(a.transport)
+    };
+
+    let r = StackSim::run(cfg, policy, merge);
+    println!("{}", r.summary());
+    println!(
+        "delivered {:.1} MB in {} messages over {:.0} ms ({} events simulated)",
+        r.delivered_bytes as f64 / 1e6,
+        r.messages,
+        r.measured_ns as f64 / 1e6,
+        r.events
+    );
+    println!(
+        "ordering: {} raced at merge, {} tcp ooo inserts, {} merge residue",
+        r.ooo_merge_input, r.tcp_ooo_inserts, r.merge_residue
+    );
+    println!(
+        "latency: p50 {:.1}us  mean {:.1}us  p99 {:.1}us  max {:.1}us",
+        r.latency.median() as f64 / 1e3,
+        r.latency.mean() / 1e3,
+        r.latency.p99() as f64 / 1e3,
+        r.latency.max() as f64 / 1e3
+    );
+    if a.cpu {
+        println!("\nper-core CPU:\n{}", r.cpu.render(r.duration_ns));
+    }
+}

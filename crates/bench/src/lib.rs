@@ -1,0 +1,73 @@
+//! `mflow-bench` — shared plumbing for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary prints the same rows/series the paper's figure
+//! reports and writes a machine-readable JSON copy under `results/`.
+//! Set `MFLOW_QUICK=1` for shorter (CI-friendly) simulations.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mflow_metrics::SeriesSet;
+use mflow_sim::MS;
+
+/// Simulated duration and warmup for throughput-style runs, honouring
+/// `MFLOW_QUICK`.
+pub fn durations() -> (u64, u64) {
+    if quick_mode() {
+        (16 * MS, 5 * MS)
+    } else {
+        (60 * MS, 15 * MS)
+    }
+}
+
+/// True when `MFLOW_QUICK` is set (shorter runs).
+pub fn quick_mode() -> bool {
+    std::env::var("MFLOW_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Directory JSON results are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MFLOW_RESULTS").unwrap_or_else(|_| "results".into());
+    PathBuf::from(dir)
+}
+
+/// Saves a figure's series set as `results/<name>.json`.
+pub fn save(name: &str, set: &SeriesSet) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        eprintln!("warning: could not create {}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match fs::write(&path, set.to_json()) {
+        Ok(()) => println!("\n[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Pretty Gbps cell.
+pub fn gbps(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Pretty microsecond cell from nanoseconds.
+pub fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_are_sane() {
+        let (d, w) = durations();
+        assert!(w < d);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(gbps(29.849), "29.85");
+        assert_eq!(us(46_500), "46.5");
+    }
+}

@@ -1,0 +1,228 @@
+//! Elephant-flow identification.
+//!
+//! MFLOW splits "any identified (elephant) flow" (§III-A): long-lived,
+//! high-rate flows whose packet processing can saturate a core. Splitting
+//! mice would only add steering overhead, so the splitter consults this
+//! detector before tagging a flow.
+//!
+//! The detector keeps a per-flow exponentially-weighted rate estimate over
+//! fixed windows, promotes a flow to elephant when its rate stays above
+//! `promote_segs_per_sec` and demotes it when it falls below the (lower)
+//! `demote_segs_per_sec` — hysteresis so borderline flows do not flap
+//! between split and unsplit processing, which would churn micro-flow
+//! state.
+
+use std::collections::BTreeMap;
+
+use mflow_sim::Time;
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ElephantConfig {
+    /// Rate above which a flow is promoted to elephant.
+    pub promote_segs_per_sec: f64,
+    /// Rate below which an elephant is demoted. Must not exceed the
+    /// promotion threshold.
+    pub demote_segs_per_sec: f64,
+    /// Measurement window.
+    pub window_ns: u64,
+    /// EWMA weight of the newest window.
+    pub alpha: f64,
+}
+
+impl Default for ElephantConfig {
+    fn default() -> Self {
+        Self {
+            // ~145 Mbps of MTU segments: far above any mouse, far below
+            // the multi-Gbps elephants the paper targets.
+            promote_segs_per_sec: 12_500.0,
+            demote_segs_per_sec: 5_000.0,
+            window_ns: 1_000_000, // 1 ms
+            alpha: 0.3,
+        }
+    }
+}
+
+impl ElephantConfig {
+    /// A detector that treats every flow as an elephant immediately (the
+    /// single-flow experiments, where splitting is statically enabled).
+    pub fn always() -> Self {
+        Self {
+            promote_segs_per_sec: 0.0,
+            demote_segs_per_sec: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FlowRate {
+    window_start: Time,
+    window_segs: u64,
+    ewma_segs_per_sec: f64,
+    elephant: bool,
+}
+
+/// Per-flow rate tracking with hysteresis-based classification.
+#[derive(Debug)]
+pub struct ElephantDetector {
+    cfg: ElephantConfig,
+    flows: BTreeMap<usize, FlowRate>,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl ElephantDetector {
+    /// Creates a detector.
+    pub fn new(cfg: ElephantConfig) -> Self {
+        assert!(
+            cfg.demote_segs_per_sec <= cfg.promote_segs_per_sec,
+            "hysteresis thresholds inverted"
+        );
+        assert!(cfg.window_ns > 0 && (0.0..=1.0).contains(&cfg.alpha));
+        Self {
+            cfg,
+            flows: BTreeMap::new(),
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    /// Records `segs` observed for `flow` at `now`; returns whether the
+    /// flow is currently classified as an elephant.
+    pub fn observe(&mut self, flow: usize, segs: u64, now: Time) -> bool {
+        if self.cfg.promote_segs_per_sec == 0.0 {
+            return true; // always-split mode
+        }
+        let cfg = self.cfg;
+        let st = self.flows.entry(flow).or_insert(FlowRate {
+            window_start: now,
+            ..FlowRate::default()
+        });
+        st.window_segs += segs;
+        let elapsed = now.saturating_sub(st.window_start);
+        if elapsed >= cfg.window_ns {
+            let rate = st.window_segs as f64 * 1e9 / elapsed as f64;
+            st.ewma_segs_per_sec =
+                cfg.alpha * rate + (1.0 - cfg.alpha) * st.ewma_segs_per_sec;
+            st.window_start = now;
+            st.window_segs = 0;
+            if !st.elephant && st.ewma_segs_per_sec >= cfg.promote_segs_per_sec {
+                st.elephant = true;
+                self.promotions += 1;
+            } else if st.elephant && st.ewma_segs_per_sec < cfg.demote_segs_per_sec {
+                st.elephant = false;
+                self.demotions += 1;
+            }
+        }
+        st.elephant
+    }
+
+    /// Current classification without recording an observation.
+    pub fn is_elephant(&self, flow: usize) -> bool {
+        self.cfg.promote_segs_per_sec == 0.0
+            || self.flows.get(&flow).is_some_and(|s| s.elephant)
+    }
+
+    /// Number of tracked flows.
+    pub fn tracked(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Lifetime promotions to elephant.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Lifetime demotions.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ElephantConfig {
+        ElephantConfig {
+            promote_segs_per_sec: 10_000.0,
+            demote_segs_per_sec: 4_000.0,
+            window_ns: 1_000_000,
+            alpha: 0.5,
+        }
+    }
+
+    /// Feeds a steady rate (segs per 1 ms window) for `windows` windows.
+    fn feed(d: &mut ElephantDetector, flow: usize, per_window: u64, windows: u64, t0: u64) -> u64 {
+        let mut now = t0;
+        for _ in 0..windows {
+            for k in 0..per_window {
+                d.observe(flow, 1, now + k * (1_000_000 / per_window.max(1)));
+            }
+            now += 1_000_000;
+            d.observe(flow, 0, now);
+        }
+        now
+    }
+
+    #[test]
+    fn fast_flow_is_promoted() {
+        let mut d = ElephantDetector::new(cfg());
+        // 50 segs/ms = 50k segs/s, well above the 10k threshold.
+        feed(&mut d, 0, 50, 8, 0);
+        assert!(d.is_elephant(0));
+        assert_eq!(d.promotions(), 1);
+    }
+
+    #[test]
+    fn slow_flow_stays_mouse() {
+        let mut d = ElephantDetector::new(cfg());
+        // 2 segs/ms = 2k segs/s, below both thresholds.
+        feed(&mut d, 0, 2, 20, 0);
+        assert!(!d.is_elephant(0));
+        assert_eq!(d.promotions(), 0);
+    }
+
+    #[test]
+    fn hysteresis_requires_falling_below_demote_threshold() {
+        let mut d = ElephantDetector::new(cfg());
+        let t = feed(&mut d, 0, 50, 8, 0);
+        assert!(d.is_elephant(0));
+        // Drop to 7 segs/ms = 7k/s: between demote (4k) and promote (10k):
+        // stays an elephant.
+        let t = feed(&mut d, 0, 7, 10, t);
+        assert!(d.is_elephant(0), "must not demote inside the hysteresis band");
+        // Drop to 1 seg/ms: demoted.
+        feed(&mut d, 0, 1, 12, t);
+        assert!(!d.is_elephant(0));
+        assert_eq!(d.demotions(), 1);
+    }
+
+    #[test]
+    fn flows_are_tracked_independently() {
+        let mut d = ElephantDetector::new(cfg());
+        feed(&mut d, 0, 50, 8, 0);
+        feed(&mut d, 1, 2, 8, 0);
+        assert!(d.is_elephant(0));
+        assert!(!d.is_elephant(1));
+        assert_eq!(d.tracked(), 2);
+    }
+
+    #[test]
+    fn always_mode_splits_everything() {
+        let mut d = ElephantDetector::new(ElephantConfig::always());
+        assert!(d.observe(7, 1, 0));
+        assert!(d.is_elephant(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_thresholds_rejected() {
+        ElephantDetector::new(ElephantConfig {
+            promote_segs_per_sec: 1.0,
+            demote_segs_per_sec: 2.0,
+            ..ElephantConfig::default()
+        });
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-core CPU accounting with per-tag (network device / stage) breakdowns.
+//!
+//! The paper's Figures 4b, 8b and 12 report the average CPU utilization of
+//! each core and which softirq (pNIC, VxLAN, veth, user copy, ...) consumed
+//! it. The simulator attributes every nanosecond of core busy time to a tag
+//! through this structure.
+
+use std::collections::BTreeMap;
+
+use crate::stats;
+
+/// Busy-time ledger: `busy[(core, tag)] = ns`.
+#[derive(Clone, Debug, Default)]
+pub struct CpuAccounting {
+    busy: BTreeMap<(usize, String), u64>,
+    n_cores: usize,
+}
+
+/// One row of a CPU-breakdown table: a core and its per-tag utilization.
+#[derive(Clone, Debug)]
+pub struct CpuBreakdownRow {
+    pub core: usize,
+    /// (tag, utilization in percent) pairs, descending by utilization.
+    pub by_tag: Vec<(String, f64)>,
+    /// Total utilization in percent.
+    pub total: f64,
+}
+
+impl CpuAccounting {
+    /// Creates a ledger covering `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        Self {
+            busy: BTreeMap::new(),
+            n_cores,
+        }
+    }
+
+    /// Number of cores covered (indices `0..n_cores`).
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Charges `ns` of busy time on `core` to `tag`.
+    pub fn charge(&mut self, core: usize, tag: &str, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        self.n_cores = self.n_cores.max(core + 1);
+        *self.busy.entry((core, tag.to_string())).or_insert(0) += ns;
+    }
+
+    /// Total busy nanoseconds of one core.
+    pub fn busy_ns(&self, core: usize) -> u64 {
+        self.busy
+            .iter()
+            .filter(|((c, _), _)| *c == core)
+            .map(|(_, ns)| *ns)
+            .sum()
+    }
+
+    /// Busy nanoseconds of one (core, tag) pair.
+    pub fn busy_ns_tag(&self, core: usize, tag: &str) -> u64 {
+        self.busy.get(&(core, tag.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Total busy nanoseconds charged to `tag` across all cores.
+    pub fn tag_total_ns(&self, tag: &str) -> u64 {
+        self.busy
+            .iter()
+            .filter(|((_, t), _)| t == tag)
+            .map(|(_, ns)| *ns)
+            .sum()
+    }
+
+    /// Utilization of one core in percent of `duration_ns`.
+    pub fn utilization_pct(&self, core: usize, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns(core) as f64 * 100.0 / duration_ns as f64
+    }
+
+    /// Per-core utilization vector (percent) over `0..n_cores`.
+    pub fn utilization_vector(&self, duration_ns: u64) -> Vec<f64> {
+        (0..self.n_cores)
+            .map(|c| self.utilization_pct(c, duration_ns))
+            .collect()
+    }
+
+    /// Standard deviation of per-core utilization — the paper's load-balance
+    /// metric of Figure 12 (20.5 for FALCON vs 11.6 for MFLOW).
+    pub fn utilization_stddev(&self, duration_ns: u64, cores: &[usize]) -> f64 {
+        let xs: Vec<f64> = cores
+            .iter()
+            .map(|&c| self.utilization_pct(c, duration_ns))
+            .collect();
+        stats::stddev(&xs)
+    }
+
+    /// Full per-core breakdown rows, skipping idle cores.
+    pub fn breakdown(&self, duration_ns: u64) -> Vec<CpuBreakdownRow> {
+        let mut rows = Vec::new();
+        for core in 0..self.n_cores {
+            let mut by_tag: Vec<(String, f64)> = self
+                .busy
+                .iter()
+                .filter(|((c, _), _)| *c == core)
+                .map(|((_, t), ns)| (t.clone(), *ns as f64 * 100.0 / duration_ns as f64))
+                .collect();
+            if by_tag.is_empty() {
+                continue;
+            }
+            by_tag.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let total = by_tag.iter().map(|(_, p)| p).sum();
+            rows.push(CpuBreakdownRow {
+                core,
+                by_tag,
+                total,
+            });
+        }
+        rows
+    }
+
+    /// Sum of all busy time across all cores (for overhead comparisons).
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy.values().sum()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &CpuAccounting) {
+        for ((core, tag), ns) in &other.busy {
+            *self.busy.entry((*core, tag.clone())).or_insert(0) += ns;
+        }
+        self.n_cores = self.n_cores.max(other.n_cores);
+    }
+
+    /// Renders the breakdown as an indented text block.
+    pub fn render(&self, duration_ns: u64) -> String {
+        let mut out = String::new();
+        for row in self.breakdown(duration_ns) {
+            out.push_str(&format!("core {:>2}: {:>6.1}%", row.core, row.total));
+            for (tag, pct) in &row.by_tag {
+                out.push_str(&format!("  {tag}={pct:.1}%"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_utilization() {
+        let mut cpu = CpuAccounting::new(4);
+        cpu.charge(1, "vxlan", 500_000);
+        cpu.charge(1, "bridge", 250_000);
+        cpu.charge(2, "tcp", 1_000_000);
+        assert_eq!(cpu.busy_ns(1), 750_000);
+        assert!((cpu.utilization_pct(1, 1_000_000) - 75.0).abs() < 1e-9);
+        assert!((cpu.utilization_pct(2, 1_000_000) - 100.0).abs() < 1e-9);
+        assert_eq!(cpu.utilization_pct(3, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn zero_charge_is_ignored() {
+        let mut cpu = CpuAccounting::new(2);
+        cpu.charge(0, "x", 0);
+        assert_eq!(cpu.total_busy_ns(), 0);
+        assert!(cpu.breakdown(1000).is_empty());
+    }
+
+    #[test]
+    fn breakdown_sorted_descending() {
+        let mut cpu = CpuAccounting::new(2);
+        cpu.charge(0, "small", 10);
+        cpu.charge(0, "big", 90);
+        let rows = cpu.breakdown(100);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].by_tag[0].0, "big");
+        assert!((rows[0].total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_of_balanced_load_is_zero() {
+        let mut cpu = CpuAccounting::new(3);
+        for c in 0..3 {
+            cpu.charge(c, "work", 400);
+        }
+        assert_eq!(cpu.utilization_stddev(1000, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn stddev_of_imbalanced_load_is_positive() {
+        let mut cpu = CpuAccounting::new(2);
+        cpu.charge(0, "work", 1000);
+        cpu.charge(1, "work", 100);
+        assert!(cpu.utilization_stddev(1000, &[0, 1]) > 10.0);
+    }
+
+    #[test]
+    fn merge_adds_ledgers() {
+        let mut a = CpuAccounting::new(1);
+        let mut b = CpuAccounting::new(1);
+        a.charge(0, "x", 5);
+        b.charge(0, "x", 7);
+        b.charge(0, "y", 3);
+        a.merge(&b);
+        assert_eq!(a.busy_ns_tag(0, "x"), 12);
+        assert_eq!(a.busy_ns_tag(0, "y"), 3);
+        assert_eq!(a.total_busy_ns(), 15);
+    }
+
+    #[test]
+    fn tag_total_spans_cores() {
+        let mut cpu = CpuAccounting::new(3);
+        cpu.charge(0, "vxlan", 10);
+        cpu.charge(2, "vxlan", 30);
+        assert_eq!(cpu.tag_total_ns("vxlan"), 40);
+    }
+
+    #[test]
+    fn grows_core_count_on_demand() {
+        let mut cpu = CpuAccounting::new(1);
+        cpu.charge(7, "x", 1);
+        assert_eq!(cpu.n_cores(), 8);
+        assert_eq!(cpu.utilization_vector(100).len(), 8);
+    }
+}

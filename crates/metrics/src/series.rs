@@ -1,0 +1,137 @@
+//! Figure data series: named (x, y) sequences with JSON output so every
+//! regenerated figure is machine-diffable against EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// A single (x, y) observation, with an optional human label for categorical
+/// x axes (message sizes, operation names, ...).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct DataPoint {
+    pub x: f64,
+    pub y: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+}
+
+/// A named series of points (one line on a figure).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<DataPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a numeric point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(DataPoint { x, y, label: None });
+    }
+
+    /// Appends a labelled point (categorical x).
+    pub fn push_labelled(&mut self, x: f64, y: f64, label: impl Into<String>) {
+        self.points.push(DataPoint {
+            x,
+            y,
+            label: Some(label.into()),
+        });
+    }
+
+    /// Looks a y value up by x (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.x == x).map(|p| p.y)
+    }
+
+    /// Maximum y value in the series.
+    pub fn y_max(&self) -> f64 {
+        self.points.iter().map(|p| p.y).fold(f64::MIN, f64::max)
+    }
+}
+
+/// A full figure: title plus its series, serializable to JSON.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct SeriesSet {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty figure container.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series and returns a mutable handle to it.
+    pub fn add(&mut self, name: impl Into<String>) -> &mut Series {
+        self.series.push(Series::new(name));
+        self.series.last_mut().unwrap()
+    }
+
+    /// Finds a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("series serialization cannot fail")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_json() {
+        let mut set = SeriesSet::new("Fig 8a TCP", "message size (B)", "Gbps");
+        let s = set.add("mflow");
+        s.push(16.0, 1.2);
+        s.push_labelled(65536.0, 29.8, "64K");
+        let json = set.to_json();
+        let back = SeriesSet::from_json(&json).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn y_lookup() {
+        let mut s = Series::new("x");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.y_at(2.0), Some(20.0));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.y_max(), 20.0);
+    }
+
+    #[test]
+    fn get_by_name() {
+        let mut set = SeriesSet::new("t", "x", "y");
+        set.add("native").push(1.0, 26.6);
+        set.add("mflow").push(1.0, 29.8);
+        assert!(set.get("native").is_some());
+        assert!(set.get("nope").is_none());
+        assert_eq!(set.get("mflow").unwrap().y_at(1.0), Some(29.8));
+    }
+}

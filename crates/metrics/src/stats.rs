@@ -1,0 +1,88 @@
+//! Small scalar statistics helpers used by reports and tests.
+
+/// Arithmetic mean of a slice. Zero for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice. Zero for fewer than 2 items.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Value at quantile `q` of an already-sorted slice using nearest-rank.
+///
+/// # Panics
+/// Does not panic on empty input; returns 0.0 instead.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Coefficient of variation (stddev / mean); zero when the mean is zero.
+pub fn coeff_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        stddev(xs) / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // Population stddev of [2,4,4,4,5,5,7,9] is exactly 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile_of_sorted(&xs, 0.5), 5.0);
+        assert_eq!(percentile_of_sorted(&xs, 0.99), 10.0);
+        assert_eq!(percentile_of_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&xs, 1.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile_of_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        assert_eq!(coeff_of_variation(&[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Throughput accounting: bytes and messages over a (virtual or wall) time
+//! window, reported in the units the paper uses (Gbps, messages/s).
+
+/// Accumulates delivered bytes/messages and converts to rates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    messages: u64,
+    packets: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivered message of `bytes` payload carried by `packets`
+    /// wire packets.
+    pub fn record_message(&mut self, bytes: u64, packets: u64) {
+        self.bytes += bytes;
+        self.messages += 1;
+        self.packets += packets;
+    }
+
+    /// Records raw delivered bytes that are not message-framed.
+    pub fn record_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Total delivered payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total delivered messages.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total delivered wire packets.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Goodput in Gbit/s over a window of `duration_ns`.
+    pub fn gbps(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / duration_ns as f64
+    }
+
+    /// Message rate in messages/s over a window of `duration_ns`.
+    pub fn messages_per_sec(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.messages as f64 * 1e9 / duration_ns as f64
+    }
+
+    /// Packet rate in packets/s over a window of `duration_ns`.
+    pub fn packets_per_sec(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.packets as f64 * 1e9 / duration_ns as f64
+    }
+
+    /// Difference meter: rates accumulated since `earlier` was snapshotted.
+    pub fn since(&self, earlier: &ThroughputMeter) -> ThroughputMeter {
+        ThroughputMeter {
+            bytes: self.bytes - earlier.bytes,
+            messages: self.messages - earlier.messages,
+            packets: self.packets - earlier.packets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_units() {
+        let mut m = ThroughputMeter::new();
+        // 1 GB in 1 second = 8 Gbps. (1e9 bytes, 1e9 ns)
+        m.record_bytes(1_000_000_000);
+        assert!((m.gbps(1_000_000_000) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_zero_rate() {
+        let mut m = ThroughputMeter::new();
+        m.record_bytes(123);
+        assert_eq!(m.gbps(0), 0.0);
+        assert_eq!(m.messages_per_sec(0), 0.0);
+        assert_eq!(m.packets_per_sec(0), 0.0);
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut m = ThroughputMeter::new();
+        m.record_message(64 * 1024, 45);
+        m.record_message(64 * 1024, 45);
+        assert_eq!(m.messages(), 2);
+        assert_eq!(m.packets(), 90);
+        assert_eq!(m.bytes(), 2 * 64 * 1024);
+        // 2 messages in 1 ms = 2000 msg/s
+        assert!((m.messages_per_sec(1_000_000) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_computes_window_delta() {
+        let mut m = ThroughputMeter::new();
+        m.record_message(1000, 1);
+        let snap = m;
+        m.record_message(3000, 2);
+        let d = m.since(&snap);
+        assert_eq!(d.bytes(), 3000);
+        assert_eq!(d.messages(), 1);
+        assert_eq!(d.packets(), 2);
+    }
+}

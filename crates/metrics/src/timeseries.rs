@@ -1,0 +1,128 @@
+//! Windowed rate tracking: delivered bytes bucketed into fixed time
+//! windows, for convergence checks (did the run reach steady state before
+//! the measurement window?) and throughput-over-time plots.
+
+/// Accumulates (time, bytes) observations into fixed windows.
+#[derive(Clone, Debug)]
+pub struct WindowedRate {
+    window_ns: u64,
+    buckets: Vec<u64>,
+}
+
+impl WindowedRate {
+    /// Creates a tracker with the given window size.
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0);
+        Self {
+            window_ns,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records `bytes` delivered at time `t_ns`.
+    pub fn record(&mut self, t_ns: u64, bytes: u64) {
+        let idx = (t_ns / self.window_ns) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += bytes;
+    }
+
+    /// Window size in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Per-window throughput in Gbit/s.
+    pub fn gbps_series(&self) -> Vec<f64> {
+        self.buckets
+            .iter()
+            .map(|&b| b as f64 * 8.0 / self.window_ns as f64)
+            .collect()
+    }
+
+    /// Throughput over the windows in `[from_idx, to_idx)` (Gbit/s).
+    pub fn gbps_over(&self, from_idx: usize, to_idx: usize) -> f64 {
+        let to = to_idx.min(self.buckets.len());
+        if from_idx >= to {
+            return 0.0;
+        }
+        let bytes: u64 = self.buckets[from_idx..to].iter().sum();
+        bytes as f64 * 8.0 / ((to - from_idx) as u64 * self.window_ns) as f64
+    }
+
+    /// Coefficient of variation of the per-window rate over
+    /// `[from_idx, to_idx)` — small means steady state.
+    pub fn stability_cv(&self, from_idx: usize, to_idx: usize) -> f64 {
+        let to = to_idx.min(self.buckets.len());
+        if from_idx + 1 >= to {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.buckets[from_idx..to].iter().map(|&b| b as f64).collect();
+        crate::stats::coeff_of_variation(&xs)
+    }
+
+    /// Number of windows observed.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_window() {
+        let mut w = WindowedRate::new(1_000_000); // 1 ms windows
+        w.record(100, 500);
+        w.record(999_999, 500);
+        w.record(1_000_000, 2_000);
+        assert_eq!(w.len(), 2);
+        let series = w.gbps_series();
+        // 1000 B in 1 ms = 8 Mb / ms = 0.008 Gbps.
+        assert!((series[0] - 0.008).abs() < 1e-12);
+        assert!((series[1] - 0.016).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rate_over_range() {
+        let mut w = WindowedRate::new(1_000);
+        for t in 0..10u64 {
+            w.record(t * 1_000, 125); // 1000 bits per 1000 ns = 1 Gbps
+        }
+        let g = w.gbps_over(0, 10);
+        assert!((g - 1.0).abs() < 1e-12, "{g}");
+        assert_eq!(w.gbps_over(10, 5), 0.0);
+    }
+
+    #[test]
+    fn steady_stream_has_low_cv() {
+        let mut w = WindowedRate::new(1_000);
+        for t in 0..100u64 {
+            w.record(t * 1_000 + 37, 1_000);
+        }
+        assert!(w.stability_cv(0, 100) < 1e-9);
+    }
+
+    #[test]
+    fn bursty_stream_has_high_cv() {
+        let mut w = WindowedRate::new(1_000);
+        for t in 0..100u64 {
+            w.record(t * 1_000, if t % 10 == 0 { 10_000 } else { 10 });
+        }
+        assert!(w.stability_cv(0, 100) > 1.0);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let w = WindowedRate::new(5);
+        assert!(w.is_empty());
+        assert_eq!(w.gbps_over(0, 10), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Flow identification: the 5-tuple key that steering policies hash.
+
+use crate::frame::OverlayFrameSpec;
+use crate::toeplitz;
+
+/// Transport protocol of a flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    Tcp,
+    Udp,
+}
+
+/// A connection 5-tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    pub src_ip: [u8; 4],
+    pub dst_ip: [u8; 4],
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// Creates a TCP flow key.
+    pub fn tcp(src_ip: [u8; 4], src_port: u16, dst_ip: [u8; 4], dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Proto::Tcp,
+        }
+    }
+
+    /// Creates a UDP flow key.
+    pub fn udp(src_ip: [u8; 4], src_port: u16, dst_ip: [u8; 4], dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Proto::Udp,
+        }
+    }
+
+    /// RSS (Toeplitz) hash of this flow's 4-tuple.
+    pub fn rss_hash(&self) -> u32 {
+        toeplitz::rss_hash_v4(self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+    }
+
+    /// The reverse-direction key (for ACK traffic).
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+impl From<&OverlayFrameSpec> for FlowKey {
+    fn from(spec: &OverlayFrameSpec) -> Self {
+        FlowKey {
+            src_ip: spec.inner_src_ip,
+            dst_ip: spec.inner_dst_ip,
+            src_port: spec.inner_src_port,
+            dst_port: spec.inner_dst_port,
+            proto: spec.proto,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = FlowKey::tcp([1, 1, 1, 1], 10, [2, 2, 2, 2], 20);
+        let r = k.reversed();
+        assert_eq!(r.src_ip, [2, 2, 2, 2]);
+        assert_eq!(r.dst_port, 10);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn tcp_and_udp_keys_differ() {
+        let t = FlowKey::tcp([1, 1, 1, 1], 10, [2, 2, 2, 2], 20);
+        let u = FlowKey::udp([1, 1, 1, 1], 10, [2, 2, 2, 2], 20);
+        assert_ne!(t, u);
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        let k = FlowKey::udp([10, 1, 0, 5], 5353, [10, 1, 0, 6], 5353);
+        assert_eq!(k.rss_hash(), k.rss_hash());
+    }
+}

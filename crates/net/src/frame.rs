@@ -1,0 +1,379 @@
+//! Whole-frame construction and parsing for the container overlay network.
+//!
+//! An overlay frame on the wire is:
+//!
+//! ```text
+//! outer Ethernet / outer IPv4 / outer UDP (dst 4789) / VXLAN /
+//!     inner Ethernet / inner IPv4 / TCP-or-UDP / payload
+//! ```
+//!
+//! A native frame omits everything up to and including the VXLAN header.
+
+use crate::ethernet::{EtherType, EthernetHeader, MacAddr};
+use crate::flow::{FlowKey, Proto};
+use crate::ipv4::{Ipv4Header, PROTO_TCP, PROTO_UDP};
+use crate::tcp::{flags, TcpHeader};
+use crate::geneve::{GeneveHeader, GENEVE_PORT};
+use crate::udp::UdpHeader;
+use crate::vxlan::{VxlanHeader, VXLAN_PORT};
+use crate::ParseError;
+
+/// Everything needed to build one overlay frame.
+#[derive(Clone, Debug)]
+pub struct OverlayFrameSpec {
+    pub outer_src_mac: MacAddr,
+    pub outer_dst_mac: MacAddr,
+    pub outer_src_ip: [u8; 4],
+    pub outer_dst_ip: [u8; 4],
+    /// Outer UDP source port (VXLAN entropy port, derived from inner hash).
+    pub outer_src_port: u16,
+    pub vni: u32,
+    pub inner_src_mac: MacAddr,
+    pub inner_dst_mac: MacAddr,
+    pub inner_src_ip: [u8; 4],
+    pub inner_dst_ip: [u8; 4],
+    pub inner_src_port: u16,
+    pub inner_dst_port: u16,
+    pub proto: Proto,
+    /// TCP sequence number (ignored for UDP).
+    pub tcp_seq: u32,
+    pub payload: Vec<u8>,
+}
+
+impl OverlayFrameSpec {
+    /// A ready-made TCP spec for tests and examples: container `a` on host
+    /// 10.0.0.1 talking to container `b` on host 10.0.0.2, VNI 42.
+    pub fn example_tcp(a: u64, seq: u32, payload: Vec<u8>) -> Self {
+        Self {
+            outer_src_mac: MacAddr::local(1000 + a),
+            outer_dst_mac: MacAddr::local(2000),
+            outer_src_ip: [10, 0, 0, 1],
+            outer_dst_ip: [10, 0, 0, 2],
+            outer_src_port: 49152 + a as u16,
+            vni: 42,
+            inner_src_mac: MacAddr::local(a),
+            inner_dst_mac: MacAddr::local(99),
+            inner_src_ip: [172, 17, 0, 2],
+            inner_dst_ip: [172, 17, 0, 3],
+            inner_src_port: 40000 + a as u16,
+            inner_dst_port: 5201,
+            proto: Proto::Tcp,
+            tcp_seq: seq,
+            payload,
+        }
+    }
+
+    /// A ready-made UDP spec (same topology as [`Self::example_tcp`]).
+    pub fn example_udp(a: u64, payload: Vec<u8>) -> Self {
+        let mut s = Self::example_tcp(a, 0, payload);
+        s.proto = Proto::Udp;
+        s
+    }
+}
+
+/// Total overlay header overhead in bytes (all headers, both layers).
+pub const OVERLAY_HEADER_BYTES: usize = EthernetHeader::LEN
+    + Ipv4Header::LEN
+    + UdpHeader::LEN
+    + VxlanHeader::LEN
+    + EthernetHeader::LEN
+    + Ipv4Header::LEN
+    + TcpHeader::LEN;
+
+/// Builds the inner frame (Ethernet/IPv4/transport/payload).
+fn build_inner(spec: &OverlayFrameSpec) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(64 + spec.payload.len());
+    EthernetHeader {
+        dst: spec.inner_dst_mac,
+        src: spec.inner_src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .encode(&mut inner);
+    match spec.proto {
+        Proto::Tcp => {
+            let ip = Ipv4Header::simple(
+                spec.inner_src_ip,
+                spec.inner_dst_ip,
+                PROTO_TCP,
+                TcpHeader::LEN + spec.payload.len(),
+            );
+            ip.encode(&mut inner);
+            TcpHeader::for_payload(
+                spec.inner_src_port,
+                spec.inner_dst_port,
+                spec.tcp_seq,
+                0,
+                flags::ACK,
+                0xFFFF,
+                spec.inner_src_ip,
+                spec.inner_dst_ip,
+                &spec.payload,
+            )
+            .encode(&mut inner);
+        }
+        Proto::Udp => {
+            let ip = Ipv4Header::simple(
+                spec.inner_src_ip,
+                spec.inner_dst_ip,
+                PROTO_UDP,
+                UdpHeader::LEN + spec.payload.len(),
+            );
+            ip.encode(&mut inner);
+            UdpHeader::for_payload(
+                spec.inner_src_port,
+                spec.inner_dst_port,
+                spec.inner_src_ip,
+                spec.inner_dst_ip,
+                &spec.payload,
+            )
+            .encode(&mut inner);
+        }
+    }
+    inner.extend_from_slice(&spec.payload);
+    inner
+}
+
+/// Builds a complete VXLAN-encapsulated overlay frame.
+pub fn build_overlay_frame(spec: &OverlayFrameSpec) -> Vec<u8> {
+    let mut tunnel_payload = Vec::new();
+    VxlanHeader::new(spec.vni).encode(&mut tunnel_payload);
+    encapsulate(spec, VXLAN_PORT, tunnel_payload)
+}
+
+/// Builds a Geneve-encapsulated overlay frame (RFC 8926) with the same
+/// inner packet — MFLOW's stateless-path mechanisms are tunnel-agnostic.
+pub fn build_geneve_frame(spec: &OverlayFrameSpec) -> Vec<u8> {
+    let mut tunnel_payload = Vec::new();
+    GeneveHeader::new(spec.vni).encode(&mut tunnel_payload);
+    encapsulate(spec, GENEVE_PORT, tunnel_payload)
+}
+
+/// Wraps the inner frame in outer Ethernet/IPv4/UDP around the given
+/// tunnel header bytes.
+fn encapsulate(spec: &OverlayFrameSpec, dst_port: u16, mut tunnel_payload: Vec<u8>) -> Vec<u8> {
+    let inner = build_inner(spec);
+    tunnel_payload.extend_from_slice(&inner);
+
+    let mut frame = Vec::with_capacity(
+        EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + tunnel_payload.len(),
+    );
+    EthernetHeader {
+        dst: spec.outer_dst_mac,
+        src: spec.outer_src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .encode(&mut frame);
+    Ipv4Header::simple(
+        spec.outer_src_ip,
+        spec.outer_dst_ip,
+        PROTO_UDP,
+        UdpHeader::LEN + tunnel_payload.len(),
+    )
+    .encode(&mut frame);
+    UdpHeader::for_payload(
+        spec.outer_src_port,
+        dst_port,
+        spec.outer_src_ip,
+        spec.outer_dst_ip,
+        &tunnel_payload,
+    )
+    .encode(&mut frame);
+    frame.extend_from_slice(&tunnel_payload);
+    frame
+}
+
+/// Builds a native (non-encapsulated) frame with the inner addressing.
+pub fn build_native_frame(spec: &OverlayFrameSpec) -> Vec<u8> {
+    build_inner(spec)
+}
+
+/// The result of parsing an overlay frame down to the application payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedOverlay {
+    pub outer_flow: FlowKey,
+    /// Outer Ethernet addressing (the host NICs).
+    pub outer_src_mac: MacAddr,
+    pub outer_dst_mac: MacAddr,
+    pub vni: u32,
+    pub inner_flow: FlowKey,
+    /// Inner Ethernet addressing (the veth endpoints; the virtual bridge
+    /// forwards on `inner_dst_mac`).
+    pub inner_src_mac: MacAddr,
+    pub inner_dst_mac: MacAddr,
+    /// TCP sequence number (zero for UDP).
+    pub tcp_seq: u32,
+    pub payload: Vec<u8>,
+}
+
+/// Parses and fully verifies an overlay frame: outer IP checksum, outer UDP
+/// checksum, tunnel header (VXLAN or Geneve, selected by the outer UDP
+/// destination port), inner IP checksum, inner transport checksum.
+///
+/// This is the byte-level ground truth the simulator's decapsulation stage
+/// models the cost of.
+pub fn parse_overlay_frame(frame: &[u8]) -> Result<ParsedOverlay, ParseError> {
+    let (outer_eth, rest) = EthernetHeader::parse(frame)?;
+    if outer_eth.ethertype != EtherType::Ipv4 {
+        return Err(ParseError::Malformed("outer ethertype"));
+    }
+    let (outer_ip, rest) = Ipv4Header::parse(rest)?;
+    if outer_ip.protocol != PROTO_UDP {
+        return Err(ParseError::Malformed("outer protocol"));
+    }
+    let (outer_udp, rest) = UdpHeader::parse(rest)?;
+    let udp_payload_len = outer_udp.length as usize - UdpHeader::LEN;
+    if rest.len() < udp_payload_len {
+        return Err(ParseError::Truncated);
+    }
+    let udp_payload = &rest[..udp_payload_len];
+    if !outer_udp.verify(outer_ip.src, outer_ip.dst, udp_payload) {
+        return Err(ParseError::BadChecksum("outer udp"));
+    }
+    let (vni, inner) = match outer_udp.dst_port {
+        VXLAN_PORT => {
+            let (vxlan, inner) = VxlanHeader::parse(udp_payload)?;
+            (vxlan.vni, inner)
+        }
+        GENEVE_PORT => {
+            let (geneve, inner) = GeneveHeader::parse(udp_payload)?;
+            (geneve.vni, inner)
+        }
+        _ => return Err(ParseError::Malformed("tunnel port")),
+    };
+
+    let (inner_eth, rest) = EthernetHeader::parse(inner)?;
+    if inner_eth.ethertype != EtherType::Ipv4 {
+        return Err(ParseError::Malformed("inner ethertype"));
+    }
+    let (inner_ip, rest) = Ipv4Header::parse(rest)?;
+    let (inner_flow, tcp_seq, payload) = match inner_ip.protocol {
+        PROTO_TCP => {
+            let (tcp, payload) = TcpHeader::parse(rest)?;
+            if !tcp.verify(inner_ip.src, inner_ip.dst, payload) {
+                return Err(ParseError::BadChecksum("inner tcp"));
+            }
+            (
+                FlowKey::tcp(inner_ip.src, tcp.src_port, inner_ip.dst, tcp.dst_port),
+                tcp.seq,
+                payload.to_vec(),
+            )
+        }
+        PROTO_UDP => {
+            let (udp, payload) = UdpHeader::parse(rest)?;
+            let plen = udp.length as usize - UdpHeader::LEN;
+            if payload.len() < plen {
+                return Err(ParseError::Truncated);
+            }
+            let payload = &payload[..plen];
+            if !udp.verify(inner_ip.src, inner_ip.dst, payload) {
+                return Err(ParseError::BadChecksum("inner udp"));
+            }
+            (
+                FlowKey::udp(inner_ip.src, udp.src_port, inner_ip.dst, udp.dst_port),
+                0,
+                payload.to_vec(),
+            )
+        }
+        _ => return Err(ParseError::Malformed("inner protocol")),
+    };
+    Ok(ParsedOverlay {
+        outer_flow: FlowKey::udp(
+            outer_ip.src,
+            outer_udp.src_port,
+            outer_ip.dst,
+            outer_udp.dst_port,
+        ),
+        outer_src_mac: outer_eth.src,
+        outer_dst_mac: outer_eth.dst,
+        vni,
+        inner_flow,
+        inner_src_mac: inner_eth.src,
+        inner_dst_mac: inner_eth.dst,
+        tcp_seq,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_overlay_roundtrip() {
+        let spec = OverlayFrameSpec::example_tcp(3, 777, b"payload bytes".to_vec());
+        let frame = build_overlay_frame(&spec);
+        let parsed = parse_overlay_frame(&frame).unwrap();
+        assert_eq!(parsed.vni, 42);
+        assert_eq!(parsed.tcp_seq, 777);
+        assert_eq!(parsed.payload, b"payload bytes");
+        assert_eq!(parsed.inner_flow, FlowKey::from(&spec));
+        assert_eq!(parsed.outer_flow.dst_port, VXLAN_PORT);
+    }
+
+    #[test]
+    fn geneve_overlay_roundtrip() {
+        let spec = OverlayFrameSpec::example_tcp(4, 99, b"geneve inner".to_vec());
+        let frame = build_geneve_frame(&spec);
+        let parsed = parse_overlay_frame(&frame).unwrap();
+        assert_eq!(parsed.vni, 42);
+        assert_eq!(parsed.tcp_seq, 99);
+        assert_eq!(parsed.payload, b"geneve inner");
+        assert_eq!(parsed.outer_flow.dst_port, crate::geneve::GENEVE_PORT);
+        // Same inner packet, different tunnel: both formats coexist.
+        let vxlan = build_overlay_frame(&spec);
+        assert_eq!(parse_overlay_frame(&vxlan).unwrap().payload, parsed.payload);
+    }
+
+    #[test]
+    fn udp_overlay_roundtrip() {
+        let spec = OverlayFrameSpec::example_udp(5, vec![9u8; 1400]);
+        let frame = build_overlay_frame(&spec);
+        let parsed = parse_overlay_frame(&frame).unwrap();
+        assert_eq!(parsed.payload.len(), 1400);
+        assert_eq!(parsed.inner_flow.proto, Proto::Udp);
+    }
+
+    #[test]
+    fn corrupting_any_byte_is_detected_or_changes_output() {
+        let spec = OverlayFrameSpec::example_tcp(1, 1, b"integrity".to_vec());
+        let frame = build_overlay_frame(&spec);
+        let reference = parse_overlay_frame(&frame).unwrap();
+        // Flipping a payload byte must fail a checksum.
+        let mut bad = frame.clone();
+        let n = bad.len();
+        bad[n - 3] ^= 0xFF;
+        match parse_overlay_frame(&bad) {
+            Err(_) => {}
+            Ok(p) => assert_ne!(p, reference, "corruption silently accepted"),
+        }
+    }
+
+    #[test]
+    fn native_frame_is_smaller_by_overlay_overhead() {
+        let spec = OverlayFrameSpec::example_tcp(1, 0, vec![0u8; 100]);
+        let overlay = build_overlay_frame(&spec);
+        let native = build_native_frame(&spec);
+        let overhead = overlay.len() - native.len();
+        // outer eth + outer ip + outer udp + vxlan = 14 + 20 + 8 + 8 = 50
+        assert_eq!(overhead, 50);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let spec = OverlayFrameSpec::example_udp(1, vec![1u8; 64]);
+        let frame = build_overlay_frame(&spec);
+        for cut in [10, 30, 50, 70] {
+            assert!(parse_overlay_frame(&frame[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_vxlan_port_rejected() {
+        let spec = OverlayFrameSpec::example_udp(1, vec![1u8; 8]);
+        let mut frame = build_overlay_frame(&spec);
+        // Outer UDP dst port lives right after eth(14)+ip(20)+src_port(2).
+        frame[36] = 0x12;
+        frame[37] = 0x34;
+        assert!(parse_overlay_frame(&frame).is_err());
+    }
+}

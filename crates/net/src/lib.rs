@@ -1,0 +1,62 @@
+//! `mflow-net` — network wire formats implemented from scratch.
+//!
+//! The simulator and the real-thread runtime operate on genuine packet
+//! bytes: Ethernet II frames carrying IPv4, UDP, TCP and VXLAN (RFC 7348)
+//! encapsulation, with real Internet checksums and the Toeplitz hash used
+//! by RSS. This crate has no simulation logic; it is a standalone
+//! encode/parse library.
+//!
+//! # Example
+//!
+//! ```
+//! use mflow_net::frame::{OverlayFrameSpec, build_overlay_frame, parse_overlay_frame};
+//! use mflow_net::flow::FlowKey;
+//!
+//! let spec = OverlayFrameSpec::example_tcp(1, 0, b"hello".to_vec());
+//! let frame = build_overlay_frame(&spec);
+//! let parsed = parse_overlay_frame(&frame).unwrap();
+//! assert_eq!(parsed.payload, b"hello");
+//! assert_eq!(parsed.inner_flow, FlowKey::from(&spec));
+//! ```
+
+pub mod checksum;
+pub mod ethernet;
+pub mod flow;
+pub mod frame;
+pub mod geneve;
+pub mod ipv4;
+pub mod pcap;
+pub mod tcp;
+pub mod toeplitz;
+pub mod udp;
+pub mod vxlan;
+
+pub use ethernet::{EtherType, EthernetHeader, MacAddr};
+pub use flow::FlowKey;
+pub use ipv4::Ipv4Header;
+pub use tcp::TcpHeader;
+pub use udp::UdpHeader;
+pub use vxlan::VxlanHeader;
+
+/// Errors produced while parsing wire bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the fixed header size.
+    Truncated,
+    /// A header field has an unsupported or inconsistent value.
+    Malformed(&'static str),
+    /// A checksum did not verify.
+    BadChecksum(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "buffer truncated"),
+            ParseError::Malformed(what) => write!(f, "malformed {what}"),
+            ParseError::BadChecksum(what) => write!(f, "bad checksum in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

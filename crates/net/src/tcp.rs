@@ -1,0 +1,178 @@
+//! TCP header with pseudo-header checksum (no options beyond what the
+//! simulator needs; window scale is applied out of band by the stack model).
+
+use crate::checksum;
+use crate::ipv4::PROTO_TCP;
+use crate::ParseError;
+
+/// TCP flag bits.
+pub mod flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+}
+
+/// A TCP header (data offset fixed at 5 words, no options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    pub window: u16,
+    pub checksum: u16,
+}
+
+impl TcpHeader {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 20;
+
+    /// Builds a data segment header with a valid checksum.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire field order
+    pub fn for_payload(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: u8,
+        window: u16,
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        payload: &[u8],
+    ) -> Self {
+        let mut h = Self {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            checksum: 0,
+        };
+        let len = (Self::LEN + payload.len()) as u16;
+        let pseudo = checksum::pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len);
+        let mut bytes = Vec::with_capacity(Self::LEN + payload.len());
+        h.encode(&mut bytes);
+        bytes.extend_from_slice(payload);
+        h.checksum = checksum::finish(checksum::ones_complement_sum(&bytes, pseudo));
+        h
+    }
+
+    /// Writes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // data offset = 5 words
+        out.push(self.flags);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+    }
+
+    /// Parses a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated);
+        }
+        let data_off = (buf[12] >> 4) as usize * 4;
+        if data_off < Self::LEN || buf.len() < data_off {
+            return Err(ParseError::Malformed("tcp data offset"));
+        }
+        Ok((
+            Self {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+                ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+                flags: buf[13],
+                window: u16::from_be_bytes([buf[14], buf[15]]),
+                checksum: u16::from_be_bytes([buf[16], buf[17]]),
+            },
+            &buf[data_off..],
+        ))
+    }
+
+    /// Verifies the checksum of header + payload against the pseudo-header.
+    pub fn verify(&self, src_ip: [u8; 4], dst_ip: [u8; 4], payload: &[u8]) -> bool {
+        let len = (Self::LEN + payload.len()) as u16;
+        let pseudo = checksum::pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len);
+        let mut bytes = Vec::with_capacity(Self::LEN + payload.len());
+        self.encode(&mut bytes);
+        bytes.extend_from_slice(payload);
+        checksum::ones_complement_sum(&bytes, pseudo) == 0xFFFF
+    }
+
+    /// True if the ACK flag is set.
+    pub fn is_ack(&self) -> bool {
+        self.flags & flags::ACK != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [172, 17, 0, 2];
+    const DST: [u8; 4] = [172, 17, 0, 3];
+
+    #[test]
+    fn roundtrip_and_verify() {
+        let payload = vec![0xAB; 1448];
+        let h = TcpHeader::for_payload(
+            45000,
+            5001,
+            123456,
+            654321,
+            flags::ACK | flags::PSH,
+            0xFFFF,
+            SRC,
+            DST,
+            &payload,
+        );
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), TcpHeader::LEN);
+        let (parsed, rest) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert!(rest.is_empty());
+        assert!(parsed.verify(SRC, DST, &payload));
+        assert!(parsed.is_ack());
+    }
+
+    #[test]
+    fn corrupt_seq_fails_verify() {
+        let h = TcpHeader::for_payload(1, 2, 100, 0, flags::ACK, 1000, SRC, DST, b"xyz");
+        let mut tampered = h;
+        tampered.seq += 1;
+        assert!(!tampered.verify(SRC, DST, b"xyz"));
+    }
+
+    #[test]
+    fn truncated_parse() {
+        assert_eq!(TcpHeader::parse(&[0; 19]).unwrap_err(), ParseError::Truncated);
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = vec![0u8; 20];
+        buf[12] = 3 << 4; // offset 12 bytes < minimum 20
+        assert!(matches!(
+            TcpHeader::parse(&buf),
+            Err(ParseError::Malformed("tcp data offset"))
+        ));
+    }
+
+    #[test]
+    fn seq_wraparound_encodes() {
+        let h = TcpHeader::for_payload(1, 2, u32::MAX, 0, 0, 0, SRC, DST, &[]);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let (parsed, _) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed.seq, u32::MAX);
+    }
+}

@@ -1,0 +1,139 @@
+//! UDP header with pseudo-header checksum (RFC 768).
+
+use crate::checksum;
+use crate::ipv4::PROTO_UDP;
+use crate::ParseError;
+
+/// A UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UdpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// Header + payload length.
+    pub length: u16,
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 8;
+
+    /// Builds a header for `payload` and computes the checksum over the
+    /// IPv4 pseudo-header, the header and the payload.
+    pub fn for_payload(
+        src_port: u16,
+        dst_port: u16,
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        payload: &[u8],
+    ) -> Self {
+        let length = (Self::LEN + payload.len()) as u16;
+        let mut h = Self {
+            src_port,
+            dst_port,
+            length,
+            checksum: 0,
+        };
+        let pseudo = checksum::pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, length);
+        let mut bytes = Vec::with_capacity(Self::LEN + payload.len());
+        h.encode(&mut bytes);
+        bytes.extend_from_slice(payload);
+        let mut ck = checksum::finish(checksum::ones_complement_sum(&bytes, pseudo));
+        if ck == 0 {
+            ck = 0xFFFF; // RFC 768: zero checksum means "not computed"
+        }
+        h.checksum = ck;
+        h
+    }
+
+    /// Writes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Parses a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated);
+        }
+        let h = Self {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        };
+        if (h.length as usize) < Self::LEN {
+            return Err(ParseError::Malformed("udp length"));
+        }
+        Ok((h, &buf[Self::LEN..]))
+    }
+
+    /// Verifies the checksum of header + payload against the pseudo-header.
+    pub fn verify(&self, src_ip: [u8; 4], dst_ip: [u8; 4], payload: &[u8]) -> bool {
+        if self.checksum == 0 {
+            return true; // checksum not computed by sender
+        }
+        let pseudo = checksum::pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, self.length);
+        let mut bytes = Vec::with_capacity(Self::LEN + payload.len());
+        self.encode(&mut bytes);
+        bytes.extend_from_slice(payload);
+        checksum::ones_complement_sum(&bytes, pseudo) == 0xFFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [192, 168, 10, 1];
+    const DST: [u8; 4] = [192, 168, 10, 2];
+
+    #[test]
+    fn roundtrip_and_verify() {
+        let payload = b"mflow udp payload";
+        let h = UdpHeader::for_payload(4789, 4789, SRC, DST, payload);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let (parsed, rest) = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert!(rest.is_empty());
+        assert!(parsed.verify(SRC, DST, payload));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_verify() {
+        let payload = b"data".to_vec();
+        let h = UdpHeader::for_payload(1, 2, SRC, DST, &payload);
+        let mut bad = payload.clone();
+        bad[0] ^= 0x01;
+        assert!(!h.verify(SRC, DST, &bad));
+    }
+
+    #[test]
+    fn zero_checksum_skips_verify() {
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 8,
+            checksum: 0,
+        };
+        assert!(h.verify(SRC, DST, &[]));
+    }
+
+    #[test]
+    fn truncated_parse() {
+        assert_eq!(UdpHeader::parse(&[0; 7]).unwrap_err(), ParseError::Truncated);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let buf = [0, 1, 0, 2, 0, 3, 0, 0]; // length=3 < 8
+        assert!(matches!(
+            UdpHeader::parse(&buf),
+            Err(ParseError::Malformed("udp length"))
+        ));
+    }
+}

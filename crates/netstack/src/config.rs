@@ -1,0 +1,226 @@
+//! Simulation configuration: flows, load models, cores, noise.
+
+use serde::{Deserialize, Serialize};
+
+use mflow_sim::{CoreId, MS, US};
+
+use crate::cost::CostModel;
+use crate::stage::{PathKind, Transport};
+
+/// How a client offers load.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LoadModel {
+    /// Closed loop: keep `window_bytes` of unacknowledged data in flight
+    /// (TCP throughput mode; the window models the paper's "outstanding
+    /// packets").
+    Closed { window_bytes: u64 },
+    /// Open loop: one message every `interval_ns` (latency-under-load
+    /// mode, paced just below capacity).
+    Paced { interval_ns: u64 },
+    /// Open loop at the client's maximum rate (UDP throughput mode; the
+    /// receiver sheds overload at the ring).
+    Saturate,
+}
+
+/// One sender→receiver flow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowSpec {
+    pub transport: Transport,
+    /// Application message size in bytes (sockperf's `--msg-size`).
+    pub msg_bytes: u64,
+    /// Destination socket index (several flows may share one socket, e.g.
+    /// the paper's three UDP clients stressing one server).
+    pub sock: usize,
+    pub load: LoadModel,
+    /// Sender-side cores cooperating on this flow's `sendmsg` path.
+    ///
+    /// The paper's conclusion names the sender as the next bottleneck and
+    /// defers it to future work; this knob models an MFLOW-style TX split:
+    /// the per-segment fragmentation/copy work parallelizes across
+    /// `tx_cores` (with a coordination tax), the per-message syscall part
+    /// does not (Amdahl).
+    pub tx_cores: u32,
+}
+
+impl FlowSpec {
+    /// A closed-loop TCP flow with the default 1 MB window.
+    pub fn tcp(msg_bytes: u64, sock: usize) -> Self {
+        Self {
+            transport: Transport::Tcp,
+            msg_bytes,
+            sock,
+            load: LoadModel::Closed {
+                // ~2000 outstanding MTU packets (paper §III-A's example for
+                // a ~30 Gbps sender).
+                window_bytes: 3 << 20,
+            },
+            tx_cores: 1,
+        }
+    }
+
+    /// A saturating UDP flow.
+    pub fn udp(msg_bytes: u64, sock: usize) -> Self {
+        Self {
+            transport: Transport::Udp,
+            msg_bytes,
+            sock,
+            load: LoadModel::Saturate,
+            tx_cores: 1,
+        }
+    }
+}
+
+/// Background noise that perturbs core progress: the "concurrent kernel
+/// tasks" of §III-B that make parallel branches drift and cause
+/// out-of-order arrivals at the merge point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    pub enabled: bool,
+    /// Mean interval between interference bursts per core.
+    pub period_ns: u64,
+    /// Mean burst length.
+    pub burst_ns: u64,
+    /// Coefficient of variation applied multiplicatively to each batch's
+    /// processing cost.
+    pub cost_cv: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            period_ns: 300 * US,
+            burst_ns: 8 * US,
+            cost_cv: 0.05,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// No noise at all (for deterministic capacity calibration).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    pub path: PathKind,
+    pub cost: CostModel,
+    /// Kernel cores available for packet processing (indices into the
+    /// simulated host's core space).
+    pub kernel_cores: Vec<CoreId>,
+    /// Application cores; socket `i` runs its copy thread on
+    /// `app_cores[i % len]`.
+    pub app_cores: Vec<CoreId>,
+    pub flows: Vec<FlowSpec>,
+    /// Number of receive sockets.
+    pub n_socks: usize,
+    /// NIC ring capacity in descriptors (per IRQ core).
+    pub ring_capacity: usize,
+    /// Socket receive buffer capacity in bytes.
+    pub sock_capacity_bytes: u64,
+    /// MTU payload per wire segment.
+    pub mtu_payload: u32,
+    pub noise: NoiseConfig,
+    /// Record every core's busy intervals (see `RunReport::trace`).
+    pub trace: bool,
+    /// TCP retransmission timeout: if a closed-loop flow makes no ACK
+    /// progress for this long, the sender collapses its congestion window
+    /// and resends from the cumulative ACK.
+    pub tcp_rto_ns: u64,
+    pub seed: u64,
+    /// Total simulated time.
+    pub duration_ns: u64,
+    /// Statistics ignore everything before this point.
+    pub warmup_ns: u64,
+}
+
+impl StackConfig {
+    /// A single-flow configuration on the paper's core layout: app core 0,
+    /// kernel cores 1..=5.
+    pub fn single_flow(path: PathKind, flow: FlowSpec) -> Self {
+        Self {
+            path,
+            cost: CostModel::calibrated(),
+            kernel_cores: vec![1, 2, 3, 4, 5],
+            app_cores: vec![0],
+            flows: vec![flow],
+            n_socks: 1,
+            ring_capacity: 4096,
+            sock_capacity_bytes: 8 << 20,
+            mtu_payload: 1448,
+            noise: NoiseConfig::default(),
+            trace: false,
+            tcp_rto_ns: 8 * MS,
+            seed: 42,
+            duration_ns: 60 * MS,
+            warmup_ns: 10 * MS,
+        }
+    }
+
+    /// Total core index space needed (max referenced core + 1).
+    pub fn n_cores(&self) -> usize {
+        self.kernel_cores
+            .iter()
+            .chain(self.app_cores.iter())
+            .copied()
+            .max()
+            .map_or(1, |m| m + 1)
+    }
+
+    /// Wire header bytes per segment for this path/transport.
+    pub fn header_bytes(&self, transport: Transport) -> u32 {
+        // eth(14)+ip(20)+tcp(20)/udp(8), plus 50 bytes of outer headers
+        // (eth+ip+udp+vxlan) on the overlay path.
+        let inner = match transport {
+            Transport::Tcp => 54,
+            Transport::Udp => 42,
+        };
+        match self.path {
+            PathKind::Native => inner,
+            PathKind::Overlay => inner + 50,
+        }
+    }
+
+    /// Segments needed to carry one message of this flow.
+    pub fn segs_per_msg(&self, msg_bytes: u64) -> u64 {
+        msg_bytes.div_ceil(self.mtu_payload as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_defaults() {
+        let c = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+        assert_eq!(c.n_cores(), 6);
+        assert_eq!(c.flows.len(), 1);
+        assert!(c.warmup_ns < c.duration_ns);
+    }
+
+    #[test]
+    fn header_bytes_by_path() {
+        let mut c = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(100, 0));
+        assert_eq!(c.header_bytes(Transport::Tcp), 104);
+        assert_eq!(c.header_bytes(Transport::Udp), 92);
+        c.path = PathKind::Native;
+        assert_eq!(c.header_bytes(Transport::Tcp), 54);
+        assert_eq!(c.header_bytes(Transport::Udp), 42);
+    }
+
+    #[test]
+    fn segs_per_msg_rounding() {
+        let c = StackConfig::single_flow(PathKind::Native, FlowSpec::tcp(100, 0));
+        assert_eq!(c.segs_per_msg(16), 1);
+        assert_eq!(c.segs_per_msg(1448), 1);
+        assert_eq!(c.segs_per_msg(1449), 2);
+        assert_eq!(c.segs_per_msg(65536), 46);
+    }
+}

@@ -1,0 +1,138 @@
+//! Generic Receive Offload: merging runs of contiguous same-flow segments
+//! into super-skbs so later stages pay per-skb costs once per run.
+//!
+//! Two properties matter for MFLOW:
+//! * GRO only merges *contiguous* segments, so interleaving micro-flows of
+//!   the same flow on one core would break merges — MFLOW's batch sizes of
+//!   256+ keep runs long and GRO effective (paper §III-A).
+//! * GRO never merges across a micro-flow boundary here, so a merged skb
+//!   stays inside one micro-flow and reassembly stays batch-granular.
+
+use crate::skb::Skb;
+
+/// Merges a batch in arrival order. Returns the merged skbs.
+///
+/// `max_segs` and `max_bytes` are the kernel's aggregation caps.
+pub fn gro_merge(batch: Vec<Skb>, max_segs: u32, max_bytes: u32) -> Vec<Skb> {
+    let mut out: Vec<Skb> = Vec::with_capacity(batch.len() / 4 + 1);
+    for skb in batch {
+        if let Some(head) = out.last_mut() {
+            let same_mf = match (&head.mf, &skb.mf) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.id == b.id && a.core == b.core,
+                _ => false,
+            };
+            if same_mf
+                && head.is_contiguous_with(&skb)
+                && head.segs + skb.segs <= max_segs
+                && head.payload_bytes + skb.payload_bytes <= max_bytes
+            {
+                head.absorb(skb);
+                continue;
+            }
+        }
+        out.push(skb);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skb::MicroflowTag;
+
+    fn seg(seq: u64, flow: usize, byte_seq: u64, len: u32) -> Skb {
+        Skb::new(seq, flow, len + 66, len, byte_seq, 0)
+    }
+
+    #[test]
+    fn contiguous_run_merges_into_one() {
+        let batch: Vec<Skb> = (0..10).map(|i| seg(i, 0, i * 1448, 1448)).collect();
+        let merged = gro_merge(batch, 45, 65536);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].segs, 10);
+        assert_eq!(merged[0].payload_bytes, 14480);
+    }
+
+    #[test]
+    fn seg_cap_limits_merge() {
+        let batch: Vec<Skb> = (0..100).map(|i| seg(i, 0, i * 1448, 1448)).collect();
+        let merged = gro_merge(batch, 45, u32::MAX);
+        assert_eq!(merged.len(), 3); // 45 + 45 + 10
+        assert_eq!(merged[0].segs, 45);
+        assert_eq!(merged[2].segs, 10);
+    }
+
+    #[test]
+    fn byte_cap_limits_merge() {
+        let batch: Vec<Skb> = (0..100).map(|i| seg(i, 0, i * 1448, 1448)).collect();
+        let merged = gro_merge(batch, u32::MAX, 65536);
+        // 65536 / 1448 = 45.2 -> 45 segments per super-skb.
+        assert_eq!(merged[0].segs, 45);
+    }
+
+    #[test]
+    fn interleaved_flows_break_runs() {
+        let mut batch = Vec::new();
+        for i in 0..10u64 {
+            batch.push(seg(2 * i, 0, i * 1448, 1448));
+            batch.push(seg(2 * i + 1, 1, i * 1448, 1448));
+        }
+        let merged = gro_merge(batch, 45, 65536);
+        // Alternating flows: nothing merges.
+        assert_eq!(merged.len(), 20);
+    }
+
+    #[test]
+    fn gap_breaks_run() {
+        let batch = vec![seg(0, 0, 0, 1448), seg(1, 0, 5000, 1448)];
+        let merged = gro_merge(batch, 45, 65536);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn never_merges_across_microflow_boundary() {
+        let mut a = seg(0, 0, 0, 1448);
+        a.mf = Some(MicroflowTag {
+            id: 1,
+            core: 2,
+            last_in_batch: true,
+        });
+        let mut b = seg(1, 0, 1448, 1448);
+        b.mf = Some(MicroflowTag {
+            id: 2,
+            core: 3,
+            last_in_batch: false,
+        });
+        let merged = gro_merge(vec![a, b], 45, 65536);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merges_within_one_microflow() {
+        let mk = |i: u64, last| {
+            let mut s = seg(i, 0, i * 1448, 1448);
+            s.mf = Some(MicroflowTag {
+                id: 4,
+                core: 2,
+                last_in_batch: last,
+            });
+            s
+        };
+        let merged = gro_merge(vec![mk(0, false), mk(1, false), mk(2, true)], 45, 65536);
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].mf.unwrap().last_in_batch);
+    }
+
+    #[test]
+    fn tagged_and_untagged_never_merge() {
+        let a = seg(0, 0, 0, 1448);
+        let mut b = seg(1, 0, 1448, 1448);
+        b.mf = Some(MicroflowTag {
+            id: 0,
+            core: 2,
+            last_in_batch: false,
+        });
+        assert_eq!(gro_merge(vec![a, b], 45, 65536).len(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! `mflow-netstack` — an executable model of the Linux receive datapath
+//! for container overlay networks, running on the `mflow-sim` engine.
+//!
+//! The model reproduces the structure the paper measures (Figure 1–3): a
+//! NIC ring buffer drained by NAPI polls, per-packet skb allocation, GRO,
+//! the VXLAN → bridge → veth overlay chain, IP and TCP/UDP receive, socket
+//! queues and a per-socket user-copy thread pinned to the application
+//! core. Per-stage costs come from a calibrated [`cost::CostModel`];
+//! steering behaviour is injected via [`policy::PacketSteering`] so the
+//! same stack runs vanilla, RPS, FALCON and MFLOW configurations.
+
+pub mod config;
+pub mod cost;
+pub mod gro;
+pub mod policy;
+pub mod report;
+pub mod ring;
+pub mod skb;
+pub mod socket;
+pub mod stack;
+pub mod stage;
+pub mod tcp;
+
+pub use config::{FlowSpec, LoadModel, NoiseConfig, StackConfig};
+pub use cost::CostModel;
+pub use policy::{FlowMerger, LoadView, PacketSteering, StayLocal};
+pub use report::RunReport;
+pub use skb::{FlowId, MicroflowTag, MsgEnd, Skb};
+pub use stack::{Event, MergeSetup, StackSim};
+pub use stage::{PathKind, Stage, Transport};

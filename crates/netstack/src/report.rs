@@ -1,0 +1,99 @@
+//! The result of one simulation run.
+
+use mflow_metrics::{CpuAccounting, LatencyHistogram, WindowedRate};
+use mflow_sim::Trace;
+
+/// Everything a bench harness or test needs from one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Steering policy name.
+    pub policy: String,
+    /// Total simulated time.
+    pub duration_ns: u64,
+    /// Post-warmup measurement window.
+    pub measured_ns: u64,
+    /// Payload bytes copied to user space in the window.
+    pub delivered_bytes: u64,
+    /// Application messages completed in the window.
+    pub messages: u64,
+    /// Goodput in Gbit/s over the window.
+    pub goodput_gbps: f64,
+    /// Message completion rate.
+    pub msgs_per_sec: f64,
+    /// End-to-end message latency (sendmsg start → user-space copy done).
+    pub latency: LatencyHistogram,
+    /// Kernel-path portion: sendmsg start → socket enqueue.
+    pub stack_latency: LatencyHistogram,
+    /// Socket portion: enqueue → copy completion.
+    pub sock_wait: LatencyHistogram,
+    /// Receiver-host CPU ledger (kernel + app cores).
+    pub cpu: CpuAccounting,
+    /// Client-machine CPU ledger.
+    pub client_cpu: CpuAccounting,
+    /// Frames dropped at full NIC rings.
+    pub ring_drops: u64,
+    /// Datagrams dropped at full socket buffers.
+    pub sock_drops: u64,
+    /// TCP socket pushes that failed — must stay zero (window-bounded).
+    pub sock_push_fail_tcp: u64,
+    /// Arrival-order inversions observed entering the merge point.
+    pub ooo_merge_input: u64,
+    /// Arrival-order inversions observed entering the transport stage.
+    pub ooo_transport: u64,
+    /// Skbs that took TCP's expensive per-packet out-of-order path.
+    pub tcp_ooo_inserts: u64,
+    /// TCP retransmission timeouts taken by the senders.
+    pub tcp_retransmits: u64,
+    /// Wire-order inversions seen inside the TCP receiver.
+    pub tcp_inversions: u64,
+    /// Inter-processor interrupts sent.
+    pub ipis: u64,
+    /// Merge-hook invocations.
+    pub merge_invocations: u64,
+    /// Skbs still buffered in the merger at the end (should be ~0).
+    pub merge_residue: usize,
+    /// Delivered bytes per 1 ms window over the whole run — for
+    /// convergence checks and throughput-over-time plots.
+    pub delivered_series: WindowedRate,
+    /// Per-core execution trace (when `StackConfig::trace` was set).
+    pub trace: Option<Trace>,
+    /// Deepest backlog (wire segments) observed per core.
+    pub backlog_watermark: Vec<u64>,
+    /// Per-flow delivered payload bytes (whole run).
+    pub per_flow_delivered: Vec<u64>,
+    /// Engine events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Coefficient of variation of per-millisecond throughput inside the
+    /// measurement window: small values mean the run reached steady state
+    /// before measurement began.
+    pub fn steady_state_cv(&self) -> f64 {
+        let from = (self.duration_ns - self.measured_ns) / self.delivered_series.window_ns();
+        let to = self.duration_ns / self.delivered_series.window_ns();
+        self.delivered_series.stability_cv(from as usize, to as usize)
+    }
+
+    /// Per-core utilization (percent of the full run) over `cores`.
+    pub fn core_utilization(&self, cores: &[usize]) -> Vec<f64> {
+        cores
+            .iter()
+            .map(|&c| self.cpu.utilization_pct(c, self.duration_ns))
+            .collect()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} {:>7.2} Gbps  {:>9.0} msg/s  p50={:>7.1}us p99={:>7.1}us  drops(ring={}, sock={})",
+            self.policy,
+            self.goodput_gbps,
+            self.msgs_per_sec,
+            self.latency.median() as f64 / 1e3,
+            self.latency.p99() as f64 / 1e3,
+            self.ring_drops,
+            self.sock_drops,
+        )
+    }
+}

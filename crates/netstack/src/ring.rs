@@ -1,0 +1,129 @@
+//! The NIC receive ring buffer: a bounded descriptor queue between the DMA
+//! engine and the driver's poll routine. When the softirq core cannot keep
+//! up, the ring fills and the NIC drops frames — the overload signal the
+//! paper's latency experiments stay just under.
+
+use crate::skb::Skb;
+use std::collections::VecDeque;
+
+/// A bounded receive ring.
+#[derive(Debug)]
+pub struct RxRing {
+    queue: VecDeque<Skb>,
+    capacity: usize,
+    drops: u64,
+    enqueued: u64,
+    high_watermark: usize,
+}
+
+impl RxRing {
+    /// Creates a ring with room for `capacity` descriptors.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            queue: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            drops: 0,
+            enqueued: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Offers one frame; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, skb: Skb) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.drops += 1;
+            return false;
+        }
+        self.queue.push_back(skb);
+        self.enqueued += 1;
+        self.high_watermark = self.high_watermark.max(self.queue.len());
+        true
+    }
+
+    /// Takes up to `budget` descriptors for one poll.
+    pub fn poll(&mut self, budget: usize) -> Vec<Skb> {
+        let n = budget.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Descriptors currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no descriptors are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Frames dropped because the ring was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Frames accepted in total.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Deepest occupancy observed.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skb(seq: u64) -> Skb {
+        Skb::new(seq, 0, 1514, 1448, seq * 1448, 0)
+    }
+
+    #[test]
+    fn push_and_poll_fifo() {
+        let mut r = RxRing::new(8);
+        for i in 0..5 {
+            assert!(r.push(skb(i)));
+        }
+        let got = r.poll(3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].wire_seq, 0);
+        assert_eq!(got[2].wire_seq, 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut r = RxRing::new(2);
+        assert!(r.push(skb(0)));
+        assert!(r.push(skb(1)));
+        assert!(!r.push(skb(2)));
+        assert_eq!(r.drops(), 1);
+        assert_eq!(r.enqueued(), 2);
+    }
+
+    #[test]
+    fn poll_respects_budget_and_emptiness() {
+        let mut r = RxRing::new(4);
+        assert!(r.poll(16).is_empty());
+        r.push(skb(0));
+        let got = r.poll(16);
+        assert_eq!(got.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut r = RxRing::new(10);
+        for i in 0..7 {
+            r.push(skb(i));
+        }
+        r.poll(5);
+        for i in 7..9 {
+            r.push(skb(i));
+        }
+        assert_eq!(r.high_watermark(), 7);
+    }
+}

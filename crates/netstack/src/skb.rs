@@ -1,0 +1,187 @@
+//! The simulator's socket-buffer (`skb`) analogue.
+//!
+//! The kernel represents every packet as an `skb` that travels through the
+//! stages of the receive path. The simulated skb carries just enough
+//! metadata for steering, ordering, GRO accounting and latency attribution;
+//! payload bytes are virtual (a length) in simulation runs and real frames
+//! are exercised by `mflow-net` and the integration tests.
+
+use mflow_sim::Time;
+
+/// Index of a flow in the stack's flow table.
+pub type FlowId = usize;
+
+/// Micro-flow tag attached by MFLOW's splitter (stored in the real kernel
+/// inside the skb control block, per the paper's §III-B footnote).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MicroflowTag {
+    /// Position of this micro-flow in the original flow (the merging
+    /// counter compares against this).
+    pub id: u64,
+    /// Splitting core this micro-flow was dispatched to.
+    pub core: usize,
+    /// True on the final skb of the micro-flow batch: tells the merger the
+    /// batch is complete and the counter may advance.
+    pub last_in_batch: bool,
+}
+
+/// Completion marker for an application message whose final segment is
+/// carried by this skb (GRO can merge the tails of up to a few messages
+/// into one super-skb, so this is a list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgEnd {
+    pub msg_id: u64,
+    /// When the client began `sendmsg` for this message.
+    pub send_ns: Time,
+    /// Payload bytes of the message.
+    pub msg_bytes: u64,
+    /// Wire segments the message consisted of.
+    pub msg_segs: u32,
+}
+
+/// A simulated packet traversing the receive path.
+#[derive(Clone, Debug)]
+pub struct Skb {
+    /// Global NIC arrival sequence (per receive direction). Out-of-order
+    /// detection compares these.
+    pub wire_seq: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// RSS (Toeplitz) hash of the flow's 4-tuple, copied into every skb the
+    /// way the NIC writes it into the descriptor.
+    pub hash: u32,
+    /// Bytes on the wire (frame length including all headers).
+    pub wire_bytes: u32,
+    /// Application payload bytes carried.
+    pub payload_bytes: u32,
+    /// Number of wire segments merged into this skb (1 until GRO).
+    pub segs: u32,
+    /// Cumulative TCP-style byte offset of the first payload byte within
+    /// the flow (64-bit: the simulator does not model sequence wraparound).
+    pub byte_seq: u64,
+    /// Messages completed by this skb.
+    pub msg_ends: Vec<MsgEnd>,
+    /// NIC arrival timestamp of the (first) segment.
+    pub arrival_ns: Time,
+    /// Micro-flow tag, set once MFLOW splits the flow.
+    pub mf: Option<MicroflowTag>,
+    /// Core that executed the previous stage (for locality penalties).
+    pub last_core: Option<usize>,
+}
+
+impl Skb {
+    /// Creates a fresh single-segment skb as the driver would.
+    pub fn new(
+        wire_seq: u64,
+        flow: FlowId,
+        wire_bytes: u32,
+        payload_bytes: u32,
+        byte_seq: u64,
+        arrival_ns: Time,
+    ) -> Self {
+        Self {
+            wire_seq,
+            flow,
+            hash: 0,
+            wire_bytes,
+            payload_bytes,
+            segs: 1,
+            byte_seq,
+            msg_ends: Vec::new(),
+            arrival_ns,
+            mf: None,
+            last_core: None,
+        }
+    }
+
+    /// Marks this skb as completing message `msg_id`.
+    pub fn with_msg_end(mut self, end: MsgEnd) -> Self {
+        self.msg_ends.push(end);
+        self
+    }
+
+    /// End byte offset (exclusive) of the payload within the flow.
+    pub fn byte_end(&self) -> u64 {
+        self.byte_seq + self.payload_bytes as u64
+    }
+
+    /// True if `other` continues this skb's payload contiguously — the
+    /// condition GRO checks before merging.
+    pub fn is_contiguous_with(&self, other: &Skb) -> bool {
+        self.flow == other.flow && self.byte_end() == other.byte_seq
+    }
+
+    /// Absorbs `other` into this skb (GRO merge). The micro-flow tag's
+    /// `last_in_batch` flag and message completions are inherited.
+    pub fn absorb(&mut self, other: Skb) {
+        debug_assert!(self.is_contiguous_with(&other));
+        self.wire_bytes += other.wire_bytes;
+        self.payload_bytes += other.payload_bytes;
+        self.segs += other.segs;
+        self.msg_ends.extend(other.msg_ends);
+        if let (Some(mine), Some(theirs)) = (&mut self.mf, &other.mf) {
+            mine.last_in_batch |= theirs.last_in_batch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skb(seq: u64, byte_seq: u64, len: u32) -> Skb {
+        Skb::new(seq, 0, len + 66, len, byte_seq, 1000)
+    }
+
+    #[test]
+    fn contiguity() {
+        let a = skb(0, 0, 1448);
+        let b = skb(1, 1448, 1448);
+        let c = skb(2, 4000, 1448);
+        assert!(a.is_contiguous_with(&b));
+        assert!(!a.is_contiguous_with(&c));
+        assert!(!b.is_contiguous_with(&a));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = skb(0, 0, 1448);
+        let b = skb(1, 1448, 1448).with_msg_end(MsgEnd {
+            msg_id: 7,
+            send_ns: 5,
+            msg_bytes: 2896,
+            msg_segs: 2,
+        });
+        a.absorb(b);
+        assert_eq!(a.segs, 2);
+        assert_eq!(a.payload_bytes, 2896);
+        assert_eq!(a.msg_ends.len(), 1);
+        assert_eq!(a.byte_end(), 2896);
+    }
+
+    #[test]
+    fn absorb_inherits_last_in_batch() {
+        let mut a = skb(0, 0, 100);
+        a.mf = Some(MicroflowTag {
+            id: 3,
+            core: 2,
+            last_in_batch: false,
+        });
+        let mut b = skb(1, 100, 100);
+        b.mf = Some(MicroflowTag {
+            id: 3,
+            core: 2,
+            last_in_batch: true,
+        });
+        a.absorb(b);
+        assert!(a.mf.unwrap().last_in_batch);
+    }
+
+    #[test]
+    fn different_flows_never_contiguous() {
+        let a = skb(0, 0, 100);
+        let mut b = skb(1, 100, 100);
+        b.flow = 1;
+        assert!(!a.is_contiguous_with(&b));
+    }
+}

@@ -1,0 +1,149 @@
+//! Socket receive queues and the user-copy boundary.
+//!
+//! The kernel parks received data in a socket's receive queue until the
+//! application's `recvmsg` thread (pinned to the app core) copies it to
+//! user space. The paper's Figure 8b shows this single copy thread become
+//! MFLOW's new bottleneck at ~30 Gbps.
+
+use std::collections::VecDeque;
+
+use mflow_sim::{CoreId, Time};
+
+use crate::skb::{FlowId, MsgEnd};
+
+/// One unit of data sitting in a socket receive queue.
+#[derive(Clone, Debug)]
+pub struct SockItem {
+    pub flow: FlowId,
+    pub payload_bytes: u64,
+    pub segs: u32,
+    pub msg_ends: Vec<MsgEnd>,
+    /// When the item was enqueued (for queue-delay accounting).
+    pub enq_ns: Time,
+}
+
+/// A receive socket bound to an application thread on `app_core`.
+#[derive(Debug)]
+pub struct Socket {
+    pub app_core: CoreId,
+    queue: VecDeque<SockItem>,
+    queued_bytes: u64,
+    capacity_bytes: u64,
+    drops: u64,
+    /// True while an `AppWake`/copy is in flight for this socket.
+    pub app_busy: bool,
+}
+
+impl Socket {
+    /// Creates a socket with the given receive-buffer byte capacity.
+    pub fn new(app_core: CoreId, capacity_bytes: u64) -> Self {
+        Self {
+            app_core,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            capacity_bytes,
+            drops: 0,
+            app_busy: false,
+        }
+    }
+
+    /// Enqueues an item; returns `false` (a drop, UDP semantics) when the
+    /// receive buffer is full.
+    pub fn push(&mut self, item: SockItem) -> bool {
+        if self.queued_bytes + item.payload_bytes > self.capacity_bytes {
+            self.drops += 1;
+            return false;
+        }
+        self.queued_bytes += item.payload_bytes;
+        self.queue.push_back(item);
+        true
+    }
+
+    /// Dequeues up to `max_bytes` of data for one copy operation (always at
+    /// least one item when non-empty).
+    pub fn pop_batch(&mut self, max_bytes: u64) -> Vec<SockItem> {
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        while let Some(front) = self.queue.front() {
+            if !out.is_empty() && bytes + front.payload_bytes > max_bytes {
+                break;
+            }
+            let item = self.queue.pop_front().unwrap();
+            bytes += item.payload_bytes;
+            self.queued_bytes -= item.payload_bytes;
+            out.push(item);
+        }
+        out
+    }
+
+    /// Bytes currently queued.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Items dropped due to a full receive buffer.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(bytes: u64) -> SockItem {
+        SockItem {
+            flow: 0,
+            payload_bytes: bytes,
+            segs: 1,
+            msg_ends: Vec::new(),
+            enq_ns: 0,
+        }
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut s = Socket::new(0, 10_000);
+        s.push(item(100));
+        s.push(item(200));
+        let got = s.pop_batch(u64::MAX);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload_bytes, 100);
+        assert!(s.is_empty());
+        assert_eq!(s.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_drops() {
+        let mut s = Socket::new(0, 250);
+        assert!(s.push(item(200)));
+        assert!(!s.push(item(100)));
+        assert_eq!(s.drops(), 1);
+        assert_eq!(s.queued_bytes(), 200);
+    }
+
+    #[test]
+    fn pop_batch_respects_byte_limit_but_returns_at_least_one() {
+        let mut s = Socket::new(0, u64::MAX);
+        s.push(item(500));
+        s.push(item(500));
+        s.push(item(500));
+        let got = s.pop_batch(800);
+        assert_eq!(got.len(), 1); // second item would exceed 800
+        let got = s.pop_batch(1200);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn oversized_single_item_still_pops() {
+        let mut s = Socket::new(0, u64::MAX);
+        s.push(item(10_000));
+        let got = s.pop_batch(100);
+        assert_eq!(got.len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The stages of the simulated receive path and the pipelines that native
+//! and overlay packets traverse.
+//!
+//! Each stage corresponds to a device or function of the Linux RX path; the
+//! overlay path visits three softirq "devices" (pNIC, VxLAN, veth) exactly
+//! as Figure 2 of the paper describes.
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol of a path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transport {
+    Tcp,
+    Udp,
+}
+
+/// Network path: native host networking or the VXLAN container overlay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathKind {
+    Native,
+    Overlay,
+}
+
+/// One processing stage of the receive path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// First half of the pNIC softirq: walk the completion queue and locate
+    /// packet requests (descriptors). MFLOW's IRQ-splitting divides the
+    /// softirq here.
+    DriverPoll,
+    /// Per-packet skb allocation + DMA sync + (overlay) outer checksum
+    /// validation — the function the paper found impossible to parallelize
+    /// with FALCON.
+    SkbAlloc,
+    /// Generic receive offload: merge contiguous same-flow TCP segments.
+    Gro,
+    /// Outer IP + outer UDP receive (overlay only).
+    OuterIp,
+    /// VXLAN decapsulation — the heavyweight overlay device.
+    VxlanDecap,
+    /// Virtual bridge forwarding (FDB lookup).
+    Bridge,
+    /// veth pair transmit/receive (raises the third softirq).
+    Veth,
+    /// Inner (or native) IP receive, including fragment reassembly.
+    InnerIp,
+    /// TCP receive: stateful, in-order; the stage MFLOW must merge before.
+    TcpRx,
+    /// UDP receive: socket demux and receive-queue append.
+    UdpRx,
+    /// Application-side copy from kernel to user space (`tcp_recvmsg` /
+    /// `udp_recvmsg`), pinned to the application core.
+    UserCopy,
+}
+
+/// All stages, in canonical pipeline order.
+pub const ALL_STAGES: [Stage; 11] = [
+    Stage::DriverPoll,
+    Stage::SkbAlloc,
+    Stage::Gro,
+    Stage::OuterIp,
+    Stage::VxlanDecap,
+    Stage::Bridge,
+    Stage::Veth,
+    Stage::InnerIp,
+    Stage::TcpRx,
+    Stage::UdpRx,
+    Stage::UserCopy,
+];
+
+impl Stage {
+    /// Stable dense index (for per-core backlog arrays).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of stages (backlog array size).
+    pub const COUNT: usize = 11;
+
+    /// Short label used in CPU-utilization breakdowns. Stages are grouped
+    /// by the softirq/device they belong to, matching the paper's figures.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Stage::DriverPoll => "pnic.poll",
+            Stage::SkbAlloc => "pnic.skb_alloc",
+            Stage::Gro => "pnic.gro",
+            Stage::OuterIp => "vxlan.outer_ip",
+            Stage::VxlanDecap => "vxlan.decap",
+            Stage::Bridge => "veth.bridge",
+            Stage::Veth => "veth.xmit",
+            Stage::InnerIp => "veth.inner_ip",
+            Stage::TcpRx => "tcp_rx",
+            Stage::UdpRx => "udp_rx",
+            Stage::UserCopy => "user_copy",
+        }
+    }
+
+    /// The softirq "device" this stage belongs to (pNIC / VxLAN / veth),
+    /// `None` for transport and application stages.
+    pub fn device(self) -> Option<&'static str> {
+        match self {
+            Stage::DriverPoll | Stage::SkbAlloc | Stage::Gro => Some("pnic"),
+            Stage::OuterIp | Stage::VxlanDecap => Some("vxlan"),
+            Stage::Bridge | Stage::Veth | Stage::InnerIp => Some("veth"),
+            _ => None,
+        }
+    }
+
+    /// Next stage along the given path/transport, or `None` after
+    /// [`Stage::UserCopy`].
+    pub fn next(self, path: PathKind, transport: Transport) -> Option<Stage> {
+        use PathKind::*;
+        use Stage::*;
+        use Transport::*;
+        Some(match (self, path, transport) {
+            (DriverPoll, _, _) => SkbAlloc,
+            // GRO is effective for TCP only (paper §II footnote 2).
+            (SkbAlloc, _, Tcp) => Gro,
+            (SkbAlloc, Native, Udp) => InnerIp,
+            (SkbAlloc, Overlay, Udp) => OuterIp,
+            (Gro, Native, _) => InnerIp,
+            (Gro, Overlay, _) => OuterIp,
+            (OuterIp, _, _) => VxlanDecap,
+            (VxlanDecap, _, _) => Bridge,
+            (Bridge, _, _) => Veth,
+            (Veth, _, _) => InnerIp,
+            (InnerIp, _, Tcp) => TcpRx,
+            (InnerIp, _, Udp) => UdpRx,
+            (TcpRx, _, _) | (UdpRx, _, _) => UserCopy,
+            (UserCopy, _, _) => return None,
+        })
+    }
+
+    /// The full pipeline for a path/transport, starting at `DriverPoll`.
+    pub fn pipeline(path: PathKind, transport: Transport) -> Vec<Stage> {
+        let mut v = vec![Stage::DriverPoll];
+        while let Some(next) = v.last().unwrap().next(path, transport) {
+            v.push(next);
+        }
+        v
+    }
+
+    /// True for stages that are stateless with respect to packet order —
+    /// where MFLOW may split a flow (everything before the transport
+    /// stage; `UserCopy` is past the stateful boundary for TCP).
+    pub fn is_stateless(self) -> bool {
+        !matches!(self, Stage::TcpRx | Stage::UserCopy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_tcp_pipeline_matches_paper() {
+        let p = Stage::pipeline(PathKind::Overlay, Transport::Tcp);
+        assert_eq!(
+            p,
+            vec![
+                Stage::DriverPoll,
+                Stage::SkbAlloc,
+                Stage::Gro,
+                Stage::OuterIp,
+                Stage::VxlanDecap,
+                Stage::Bridge,
+                Stage::Veth,
+                Stage::InnerIp,
+                Stage::TcpRx,
+                Stage::UserCopy,
+            ]
+        );
+    }
+
+    #[test]
+    fn overlay_udp_pipeline_has_no_gro() {
+        let p = Stage::pipeline(PathKind::Overlay, Transport::Udp);
+        assert!(!p.contains(&Stage::Gro));
+        assert!(p.contains(&Stage::VxlanDecap));
+        assert!(p.contains(&Stage::UdpRx));
+    }
+
+    #[test]
+    fn native_pipelines_skip_overlay_devices() {
+        for t in [Transport::Tcp, Transport::Udp] {
+            let p = Stage::pipeline(PathKind::Native, t);
+            assert!(!p.contains(&Stage::OuterIp));
+            assert!(!p.contains(&Stage::VxlanDecap));
+            assert!(!p.contains(&Stage::Bridge));
+            assert!(!p.contains(&Stage::Veth));
+        }
+    }
+
+    #[test]
+    fn overlay_visits_three_devices() {
+        // The paper: one IRQ and three softirqs (pNIC, VxLAN, veth).
+        let p = Stage::pipeline(PathKind::Overlay, Transport::Tcp);
+        let devices: std::collections::BTreeSet<_> =
+            p.iter().filter_map(|s| s.device()).collect();
+        assert_eq!(devices.len(), 3);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Stage::COUNT];
+        for s in ALL_STAGES {
+            assert!(!seen[s.index()]);
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn stateful_boundary() {
+        assert!(Stage::VxlanDecap.is_stateless());
+        assert!(Stage::UdpRx.is_stateless());
+        assert!(!Stage::TcpRx.is_stateless());
+        assert!(!Stage::UserCopy.is_stateless());
+    }
+}

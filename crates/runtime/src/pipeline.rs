@@ -1,0 +1,287 @@
+//! The threaded split/merge pipeline.
+//!
+//! Topology (mirroring Figure 6 of the paper on real cores):
+//!
+//! ```text
+//!             +-> worker 0 --\
+//! dispatcher -+-> worker 1 ---+-> merger (MergeCounter) -> ordered output
+//!             +-> worker N-1-/
+//! ```
+//!
+//! The dispatcher assigns micro-flows of `batch_size` consecutive frames
+//! round-robin to workers over bounded SPSC channels; each worker performs
+//! the full per-packet work; the merger restores the original order with
+//! the merging-counter algorithm. Workers run genuinely concurrently, so
+//! the merger sees every interleaving a real kernel would.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use mflow::{MergeCounter, MfTag};
+
+use crate::packet::Frame;
+use crate::work::{process_frame, PacketResult};
+
+/// Parallel-pipeline parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker (splitting-core) count.
+    pub workers: usize,
+    /// Micro-flow batch size in packets.
+    pub batch_size: usize,
+    /// Bounded channel depth between dispatcher and each worker, in
+    /// batches.
+    pub queue_depth: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            batch_size: 256,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// The outcome of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Results in emission order.
+    pub digests: Vec<PacketResult>,
+    /// Wall-clock processing time.
+    pub elapsed: Duration,
+    /// Inversions observed at the merger input (before reassembly) — the
+    /// runtime analogue of the paper's Figure 7 y-axis.
+    pub ooo_at_merge: u64,
+}
+
+/// Baseline: one thread processes every frame in order.
+pub fn process_serial(frames: &[Frame]) -> RunOutput {
+    let start = Instant::now();
+    let digests = frames.iter().map(process_frame).collect();
+    RunOutput {
+        digests,
+        elapsed: start.elapsed(),
+        ooo_at_merge: 0,
+    }
+}
+
+/// MFLOW pipeline: split into micro-flows, process on `workers` threads,
+/// merge back in order.
+pub fn process_parallel(frames: &[Frame], cfg: &RuntimeConfig) -> RunOutput {
+    assert!(cfg.workers >= 1 && cfg.batch_size >= 1 && cfg.queue_depth >= 1);
+    let start = Instant::now();
+    let n_workers = cfg.workers;
+
+    // Dispatcher -> worker lanes (SPSC: one producer, one consumer each).
+    let mut lane_tx = Vec::with_capacity(n_workers);
+    let mut lane_rx = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let (tx, rx) = channel::bounded::<Vec<(MfTag, Frame)>>(cfg.queue_depth);
+        lane_tx.push(tx);
+        lane_rx.push(rx);
+    }
+    // Workers -> merger (MPSC).
+    let (merge_tx, merge_rx) = channel::bounded::<(MfTag, PacketResult)>(n_workers * 1024);
+
+    let out = thread::scope(|s| {
+        // Workers: the "splitting cores".
+        for (lane, rx) in lane_rx.into_iter().enumerate() {
+            let tx = merge_tx.clone();
+            s.spawn(move || {
+                let _ = lane;
+                for batch in rx {
+                    for (tag, frame) in batch {
+                        let result = process_frame(&frame);
+                        // A full merger queue only applies backpressure.
+                        tx.send((tag, result)).expect("merger alive");
+                    }
+                }
+            });
+        }
+        drop(merge_tx);
+
+        // Merger thread: merging-counter reassembly.
+        let merger = s.spawn(move || {
+            let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
+            let mut out = Vec::new();
+            let mut max_seen: Option<u64> = None;
+            let mut ooo = 0u64;
+            for (tag, result) in merge_rx {
+                if let Some(m) = max_seen {
+                    if result.seq < m {
+                        ooo += 1;
+                    }
+                }
+                max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
+                mc.offer(tag, result, &mut out);
+            }
+            (out, mc.buffered(), ooo)
+        });
+
+        // Dispatcher: this thread plays the IRQ core's first half.
+        let mut mf_id = 0u64;
+        let mut lane = 0usize;
+        let mut batch: Vec<(MfTag, Frame)> = Vec::with_capacity(cfg.batch_size);
+        let n = frames.len();
+        for (i, frame) in frames.iter().enumerate() {
+            let last = batch.len() + 1 == cfg.batch_size || i + 1 == n;
+            batch.push((
+                MfTag {
+                    id: mf_id,
+                    lane,
+                    last,
+                },
+                frame.clone(),
+            ));
+            if last {
+                lane_tx[lane].send(std::mem::take(&mut batch)).expect("worker alive");
+                batch.reserve(cfg.batch_size);
+                mf_id += 1;
+                lane = (lane + 1) % n_workers;
+            }
+        }
+        drop(lane_tx);
+
+        let (digests, residue, ooo) = merger.join().expect("merger must not panic");
+        assert_eq!(residue, 0, "merger must drain completely");
+        (digests, ooo)
+    });
+
+    RunOutput {
+        digests: out.0,
+        elapsed: start.elapsed(),
+        ooo_at_merge: out.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::generate_frames;
+
+    fn run(n: usize, payload: usize, cfg: RuntimeConfig) {
+        let frames = generate_frames(n, payload);
+        let serial = process_serial(&frames);
+        let parallel = process_parallel(&frames, &cfg);
+        assert_eq!(
+            serial.digests, parallel.digests,
+            "order or content diverged with {cfg:?}"
+        );
+    }
+
+    #[test]
+    fn two_workers_preserve_order_and_content() {
+        run(2_000, 128, RuntimeConfig::default());
+    }
+
+    #[test]
+    fn many_workers_tiny_batches() {
+        run(
+            1_000,
+            64,
+            RuntimeConfig {
+                workers: 8,
+                batch_size: 1,
+                queue_depth: 4,
+            },
+        );
+    }
+
+    #[test]
+    fn batch_larger_than_input() {
+        run(
+            10,
+            32,
+            RuntimeConfig {
+                workers: 3,
+                batch_size: 1_000,
+                queue_depth: 2,
+            },
+        );
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_serial() {
+        run(
+            500,
+            16,
+            RuntimeConfig {
+                workers: 1,
+                batch_size: 64,
+                queue_depth: 2,
+            },
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = process_parallel(&[], &RuntimeConfig::default());
+        assert!(out.digests.is_empty());
+        assert_eq!(out.ooo_at_merge, 0);
+    }
+
+    #[test]
+    fn exact_batch_multiple() {
+        run(
+            512,
+            8,
+            RuntimeConfig {
+                workers: 2,
+                batch_size: 256,
+                queue_depth: 2,
+            },
+        );
+    }
+
+    #[test]
+    fn small_batches_cause_more_merge_input_disorder_than_large() {
+        // The real-thread analogue of Figure 7: with more lanes than one
+        // and tiny batches, the merger input interleaves heavily; with one
+        // giant batch everything arrives in order. This is statistical on
+        // real threads, so only the extreme ends are asserted.
+        let frames = generate_frames(20_000, 64);
+        let small = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers: 4,
+                batch_size: 1,
+                queue_depth: 64,
+            },
+        );
+        let large = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers: 4,
+                batch_size: 20_000,
+                queue_depth: 64,
+            },
+        );
+        assert_eq!(large.ooo_at_merge, 0, "single batch cannot interleave");
+        assert!(
+            small.ooo_at_merge > 0,
+            "1-packet batches over 4 threads should interleave at least once"
+        );
+    }
+
+    #[test]
+    fn stress_repeated_runs_stay_correct() {
+        let frames = generate_frames(3_000, 32);
+        let reference = process_serial(&frames);
+        for workers in [2, 3, 5] {
+            for batch in [7, 97, 1024] {
+                let out = process_parallel(
+                    &frames,
+                    &RuntimeConfig {
+                        workers,
+                        batch_size: batch,
+                        queue_depth: 3,
+                    },
+                );
+                assert_eq!(out.digests, reference.digests, "w={workers} b={batch}");
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests of the threaded pipeline: for arbitrary frame
+//! counts, payload sizes, worker counts and batch sizes, the parallel
+//! pipeline must emit exactly the serial result.
+
+use mflow_runtime::{generate_frames, process_parallel, process_serial, RuntimeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_equals_serial(
+        n in 1usize..1200,
+        payload in 0usize..800,
+        workers in 1usize..6,
+        batch in 1usize..512,
+        depth in 1usize..8,
+    ) {
+        let frames = generate_frames(n, payload);
+        let serial = process_serial(&frames);
+        let parallel = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers,
+                batch_size: batch,
+                queue_depth: depth,
+            },
+        );
+        prop_assert_eq!(serial.digests, parallel.digests);
+    }
+
+    #[test]
+    fn every_sequence_number_appears_exactly_once(
+        n in 1usize..1500,
+        workers in 2usize..5,
+        batch in 1usize..64,
+    ) {
+        let frames = generate_frames(n, 32);
+        let out = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers,
+                batch_size: batch,
+                queue_depth: 4,
+            },
+        );
+        prop_assert_eq!(out.digests.len(), n);
+        for (i, r) in out.digests.iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64, "wrong seq at position {}", i);
+        }
+    }
+}

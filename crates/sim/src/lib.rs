@@ -1,0 +1,25 @@
+//! `mflow-sim` — a deterministic discrete-event simulator of a multi-core
+//! host: virtual-time engine, CPU cores with busy accounting and per-core
+//! speed jitter, and a from-scratch deterministic PRNG.
+//!
+//! The network-stack model (`mflow-netstack`) runs on top of this engine.
+//! Nothing here knows about packets; the engine is generic over the model's
+//! event type so it is reusable and independently testable.
+//!
+//! # Determinism
+//!
+//! Two runs with the same model, seed and parameters produce bit-identical
+//! results: the event queue breaks time ties by insertion sequence number
+//! and all randomness flows from [`rng::Rng`] seeds.
+
+pub mod core;
+pub mod engine;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use crate::core::{CoreId, CoreSet};
+pub use engine::{Ctx, Engine, Model};
+pub use rng::Rng;
+pub use time::{Duration, Time, GBPS, MS, NS_PER_SEC, US};
+pub use trace::{Span, Trace};

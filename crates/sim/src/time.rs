@@ -1,0 +1,60 @@
+//! Virtual time: integer nanoseconds since simulation start.
+
+/// A point in virtual time, in nanoseconds since simulation start.
+pub type Time = u64;
+
+/// A span of virtual time, in nanoseconds.
+pub type Duration = u64;
+
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// One microsecond in nanoseconds.
+pub const US: u64 = 1_000;
+
+/// One millisecond in nanoseconds.
+pub const MS: u64 = 1_000_000;
+
+/// Bits per nanosecond for a 1 Gbit/s link (used as `rate * GBPS`).
+pub const GBPS: f64 = 1.0;
+
+/// Nanoseconds to serialize `bytes` onto a link of `gbps` Gbit/s.
+pub fn wire_ns(bytes: u64, gbps: f64) -> Duration {
+    debug_assert!(gbps > 0.0);
+    ((bytes as f64 * 8.0) / gbps).ceil() as u64
+}
+
+/// Formats a duration for humans (`1.234 ms`, `56.7 us`, `890 ns`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= MS {
+        format!("{:.3} ms", ns as f64 / MS as f64)
+    } else if ns >= US {
+        format!("{:.1} us", ns as f64 / US as f64)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_100g() {
+        // A 1500-byte frame on 100 Gbps takes 120 ns.
+        assert_eq!(wire_ns(1500, 100.0), 120);
+    }
+
+    #[test]
+    fn wire_time_rounds_up() {
+        // 1 byte on 100 Gbps = 0.08 ns -> rounds up to 1.
+        assert_eq!(wire_ns(1, 100.0), 1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1500), "1.5 us");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+    }
+}

@@ -1,0 +1,137 @@
+//! Optional execution tracing: every interval a core spends busy, with its
+//! tag, for timeline inspection and an ASCII Gantt rendering.
+//!
+//! Tracing is off by default (the hot loop only pays an `Option` check);
+//! enable it on a [`crate::CoreSet`] with `enable_trace()` before running.
+
+use crate::time::Time;
+
+/// One busy interval of one core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub core: usize,
+    pub start: Time,
+    pub end: Time,
+    pub tag: String,
+}
+
+/// A recorded execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Records one span.
+    pub fn push(&mut self, core: usize, start: Time, end: Time, tag: &str) {
+        if end > start {
+            self.spans.push(Span {
+                core,
+                start,
+                end,
+                tag: tag.to_string(),
+            });
+        }
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans overlapping `[from, to)`.
+    pub fn window(&self, from: Time, to: Time) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.end > from && s.start < to)
+    }
+
+    /// Renders an ASCII Gantt chart of `[from, to)` across `n_cores` rows,
+    /// `width` characters wide. Each cell shows the first letter of the tag
+    /// that dominates that time slice ('.' = idle).
+    pub fn render_gantt(&self, n_cores: usize, from: Time, to: Time, width: usize) -> String {
+        assert!(to > from && width > 0);
+        let slice = (to - from) as f64 / width as f64;
+        let mut out = String::new();
+        for core in 0..n_cores {
+            let mut row = vec!['.'; width];
+            let mut occupancy = vec![0.0f64; width];
+            for s in self.window(from, to).filter(|s| s.core == core) {
+                let s0 = s.start.max(from);
+                let s1 = s.end.min(to);
+                let c0 = ((s0 - from) as f64 / slice) as usize;
+                let c1 = (((s1 - from) as f64 / slice).ceil() as usize).min(width);
+                let letter = s.tag.chars().next().unwrap_or('?');
+                for (i, cell) in row.iter_mut().enumerate().take(c1).skip(c0) {
+                    // The slice keeps the tag that covers most of it.
+                    let cell_start = from + (i as f64 * slice) as Time;
+                    let cell_end = from + ((i + 1) as f64 * slice) as Time;
+                    let overlap =
+                        (s1.min(cell_end).saturating_sub(s0.max(cell_start))) as f64;
+                    if overlap > occupancy[i] {
+                        occupancy[i] = overlap;
+                        *cell = letter;
+                    }
+                }
+            }
+            out.push_str(&format!("core {core:>2} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Total busy time per tag, for quick summaries.
+    pub fn totals_by_tag(&self) -> Vec<(String, Time)> {
+        let mut map = std::collections::BTreeMap::new();
+        for s in &self.spans {
+            *map.entry(s.tag.clone()).or_insert(0) += s.end - s.start;
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_ignores_empty_spans() {
+        let mut t = Trace::default();
+        t.push(0, 10, 10, "x");
+        assert!(t.spans().is_empty());
+        t.push(0, 10, 20, "x");
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn window_filters_by_overlap() {
+        let mut t = Trace::default();
+        t.push(0, 0, 10, "a");
+        t.push(0, 20, 30, "b");
+        t.push(0, 40, 50, "c");
+        let hits: Vec<&str> = t.window(5, 25).map(|s| s.tag.as_str()).collect();
+        assert_eq!(hits, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn gantt_shows_tags_and_idle() {
+        let mut t = Trace::default();
+        t.push(0, 0, 50, "alloc");
+        t.push(1, 50, 100, "vxlan");
+        let g = t.render_gantt(2, 0, 100, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("aaaaa"), "{g}");
+        assert!(lines[0].contains("....."), "{g}");
+        assert!(lines[1].contains("vvvvv"), "{g}");
+    }
+
+    #[test]
+    fn totals_accumulate_per_tag() {
+        let mut t = Trace::default();
+        t.push(0, 0, 10, "x");
+        t.push(1, 5, 25, "x");
+        t.push(0, 30, 31, "y");
+        let totals = t.totals_by_tag();
+        assert_eq!(totals, vec![("x".to_string(), 30), ("y".to_string(), 1)]);
+    }
+}

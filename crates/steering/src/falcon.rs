@@ -1,0 +1,210 @@
+//! FALCON (EuroSys'21): pipelining the softirq stages of a single flow
+//! across cores at device granularity, optionally splitting heavyweight
+//! functions (GRO) out as well. Re-implemented from the paper's description
+//! in §II as the strongest published baseline.
+//!
+//! Device level: pNIC stages | VxLAN stages | rest.
+//! Function level: pNIC poll+alloc | GRO | VxLAN stages | rest.
+//!
+//! The limitation the paper exploits: a heavy device/function still
+//! saturates its one core, and every hop pays a locality penalty.
+
+use std::collections::BTreeMap;
+
+use mflow_netstack::{LoadView, PacketSteering, Skb, Stage};
+use mflow_sim::{CoreId, Time};
+
+/// FALCON's two published pipelining granularities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FalconLevel {
+    Device,
+    Function,
+}
+
+/// FALCON steering policy.
+#[derive(Clone, Debug)]
+pub struct Falcon {
+    level: FalconLevel,
+    cores: Vec<CoreId>,
+    /// Spread different flows' pipelines across the core list (multi-flow
+    /// runs); single-flow runs pin the pipeline at offset 0.
+    spread: bool,
+    /// First-seen flow slots: FALCON statically assigns each flow's
+    /// pipeline when the flow is registered.
+    slots: BTreeMap<u32, usize>,
+}
+
+impl Falcon {
+    /// A FALCON pipeline over `cores` (first core takes the IRQ + first
+    /// group).
+    pub fn new(level: FalconLevel, cores: Vec<CoreId>) -> Self {
+        let need = match level {
+            FalconLevel::Device => 3,
+            FalconLevel::Function => 4,
+        };
+        assert!(
+            cores.len() >= need,
+            "falcon {level:?} needs at least {need} cores"
+        );
+        Self {
+            level,
+            cores,
+            spread: false,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Enables per-flow pipeline offsetting for multi-flow scenarios.
+    pub fn spread_flows(mut self) -> Self {
+        self.spread = true;
+        self
+    }
+
+    /// Pipeline group of a stage under this level.
+    fn group(&self, stage: Stage) -> usize {
+        match self.level {
+            FalconLevel::Device => match stage {
+                Stage::DriverPoll | Stage::SkbAlloc | Stage::Gro => 0,
+                Stage::OuterIp | Stage::VxlanDecap => 1,
+                _ => 2,
+            },
+            FalconLevel::Function => match stage {
+                Stage::DriverPoll | Stage::SkbAlloc => 0,
+                Stage::Gro => 1,
+                Stage::OuterIp | Stage::VxlanDecap => 2,
+                _ => 3,
+            },
+        }
+    }
+
+    fn base(&mut self, hash: u32) -> usize {
+        if self.spread {
+            // FALCON inherits the NIC's hash-based queue placement for the
+            // head of each flow's pipeline (collisions included) and lays
+            // the remaining device groups on the following cores. The
+            // resulting static, weight-blind placement is what Figure 12
+            // measures as FALCON's load imbalance.
+            let _ = self.slots.len();
+            hash as usize % self.cores.len()
+        } else {
+            0
+        }
+    }
+
+    fn core_for(&mut self, hash: u32, stage: Stage) -> CoreId {
+        let base = self.base(hash);
+        self.cores[(base + self.group(stage)) % self.cores.len()]
+    }
+}
+
+impl PacketSteering for Falcon {
+    fn name(&self) -> &'static str {
+        match self.level {
+            FalconLevel::Device => "falcon-dev",
+            FalconLevel::Function => "falcon-fun",
+        }
+    }
+
+    fn irq_core(&mut self, hash: u32) -> CoreId {
+        self.core_for(hash, Stage::DriverPoll)
+    }
+
+    fn dispatch(
+        &mut self,
+        _now: Time,
+        _from: Stage,
+        to: Stage,
+        _cur: CoreId,
+        batch: Vec<Skb>,
+        _loads: LoadView<'_>,
+    ) -> Vec<(CoreId, Vec<Skb>)> {
+        if to == Stage::UserCopy {
+            // The copy thread placement belongs to the socket, not FALCON.
+            let cur = _cur;
+            return vec![(cur, batch)];
+        }
+        let mut out: Vec<(CoreId, Vec<Skb>)> = Vec::new();
+        for skb in batch {
+            let t = self.core_for(skb.hash, to);
+            match out.last_mut() {
+                Some((c, v)) if *c == t => v.push(skb),
+                _ => out.push((t, vec![skb])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_load() -> [u64; 16] {
+        [0; 16]
+    }
+
+    fn skb(hash: u32) -> Skb {
+        let mut s = Skb::new(0, 0, 1514, 1448, 0, 0);
+        s.hash = hash;
+        s
+    }
+
+    #[test]
+    fn device_level_uses_three_groups() {
+        let mut f = Falcon::new(FalconLevel::Device, vec![1, 2, 3]);
+        assert_eq!(f.core_for(0, Stage::DriverPoll), 1);
+        assert_eq!(f.core_for(0, Stage::SkbAlloc), 1);
+        assert_eq!(f.core_for(0, Stage::Gro), 1);
+        assert_eq!(f.core_for(0, Stage::OuterIp), 2);
+        assert_eq!(f.core_for(0, Stage::VxlanDecap), 2);
+        assert_eq!(f.core_for(0, Stage::Bridge), 3);
+        assert_eq!(f.core_for(0, Stage::TcpRx), 3);
+    }
+
+    #[test]
+    fn function_level_isolates_gro_leaving_skb_alloc_behind() {
+        // The paper's key FALCON observation: after moving GRO away, core
+        // one is overloaded "purely by the skb allocation function".
+        let mut f = Falcon::new(FalconLevel::Function, vec![1, 2, 3, 4]);
+        assert_eq!(f.core_for(0, Stage::SkbAlloc), 1);
+        assert_eq!(f.core_for(0, Stage::Gro), 2);
+        assert_eq!(f.core_for(0, Stage::VxlanDecap), 3);
+        assert_eq!(f.core_for(0, Stage::UdpRx), 4);
+    }
+
+    #[test]
+    fn single_flow_pipeline_is_static() {
+        let mut f = Falcon::new(FalconLevel::Device, vec![1, 2, 3]);
+        let out = f.dispatch(
+            0,
+            Stage::Gro,
+            Stage::OuterIp,
+            1,
+            (0..5).map(|_| skb(12345)).collect(),
+            LoadView::new(&no_load()),
+            );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn spread_offsets_pipelines_per_flow() {
+        let mut f = Falcon::new(FalconLevel::Device, vec![1, 2, 3, 4, 5]).spread_flows();
+        let a = f.core_for(0, Stage::VxlanDecap);
+        let b = f.core_for(1, Stage::VxlanDecap);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_cores_panics() {
+        Falcon::new(FalconLevel::Function, vec![1, 2]);
+    }
+
+    #[test]
+    fn user_copy_is_not_steered() {
+        let mut f = Falcon::new(FalconLevel::Device, vec![1, 2, 3]);
+        let out = f.dispatch(0, Stage::TcpRx, Stage::UserCopy, 3, vec![skb(0)], LoadView::new(&no_load()));
+        assert_eq!(out[0].0, 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Receive Flow Steering: RPS's application-aware sibling. Instead of a
+//! hash-indexed core, the kernel steers a flow's protocol processing to
+//! the core where its consuming application last ran, trading steering
+//! freedom for cache locality with the user-space reader.
+//!
+//! Like RPS and RSS it is strictly *inter-flow* parallelism: a single
+//! elephant still lands entirely on one (application) core, which is why
+//! the paper's taxonomy groups all three as insufficient for single-flow
+//! scaling.
+
+use std::collections::BTreeMap;
+
+use mflow_netstack::{LoadView, PacketSteering, PathKind, Skb, Stage};
+use mflow_sim::{CoreId, Time};
+
+/// RFS over a set of IRQ cores plus a flow→application-core table.
+#[derive(Clone, Debug)]
+pub struct Rfs {
+    irq_cores: Vec<CoreId>,
+    /// Where each flow's application thread runs (`sock_rps_record_flow`
+    /// fills the kernel's table from `recvmsg`; scenarios register flows
+    /// up front here).
+    app_core_of_flow: BTreeMap<u32, CoreId>,
+    /// Fallback for unregistered flows.
+    default_core: CoreId,
+    steer_into: Stage,
+}
+
+impl Rfs {
+    /// Creates RFS for a path; flows steer toward their registered app
+    /// core at the same hook point RPS uses.
+    pub fn for_path(path: PathKind, irq_cores: Vec<CoreId>, default_core: CoreId) -> Self {
+        assert!(!irq_cores.is_empty());
+        let steer_into = match path {
+            PathKind::Overlay => Stage::Bridge,
+            PathKind::Native => Stage::InnerIp,
+        };
+        Self {
+            irq_cores,
+            app_core_of_flow: BTreeMap::new(),
+            default_core,
+            steer_into,
+        }
+    }
+
+    /// Registers the core a flow's reader runs on (the `recvmsg` hook).
+    pub fn record_flow(mut self, hash: u32, app_core: CoreId) -> Self {
+        self.app_core_of_flow.insert(hash, app_core);
+        self
+    }
+
+    fn target(&self, hash: u32) -> CoreId {
+        self.app_core_of_flow
+            .get(&hash)
+            .copied()
+            .unwrap_or(self.default_core)
+    }
+}
+
+impl PacketSteering for Rfs {
+    fn name(&self) -> &'static str {
+        "rfs"
+    }
+
+    fn irq_core(&mut self, hash: u32) -> CoreId {
+        self.irq_cores[hash as usize % self.irq_cores.len()]
+    }
+
+    fn dispatch(
+        &mut self,
+        _now: Time,
+        _from: Stage,
+        to: Stage,
+        cur: CoreId,
+        batch: Vec<Skb>,
+        _loads: LoadView<'_>,
+    ) -> Vec<(CoreId, Vec<Skb>)> {
+        if to != self.steer_into {
+            return vec![(cur, batch)];
+        }
+        let mut out: Vec<(CoreId, Vec<Skb>)> = Vec::new();
+        for skb in batch {
+            let t = self.target(skb.hash);
+            match out.last_mut() {
+                Some((c, v)) if *c == t => v.push(skb),
+                _ => out.push((t, vec![skb])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skb(hash: u32) -> Skb {
+        let mut s = Skb::new(0, 0, 1514, 1448, 0, 0);
+        s.hash = hash;
+        s
+    }
+
+    fn no_load() -> [u64; 16] {
+        [0; 16]
+    }
+
+    #[test]
+    fn registered_flows_follow_their_reader() {
+        let mut p = Rfs::for_path(PathKind::Overlay, vec![1], 2)
+            .record_flow(7, 4)
+            .record_flow(9, 5);
+        let out = p.dispatch(
+            0,
+            Stage::VxlanDecap,
+            Stage::Bridge,
+            1,
+            vec![skb(7), skb(9), skb(7)],
+            LoadView::new(&no_load()),
+        );
+        let cores: Vec<CoreId> = out.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cores, vec![4, 5, 4]);
+    }
+
+    #[test]
+    fn unregistered_flows_use_the_default() {
+        let mut p = Rfs::for_path(PathKind::Overlay, vec![1], 3);
+        let out = p.dispatch(
+            0,
+            Stage::VxlanDecap,
+            Stage::Bridge,
+            1,
+            vec![skb(123)],
+            LoadView::new(&no_load()),
+        );
+        assert_eq!(out[0].0, 3);
+    }
+
+    #[test]
+    fn only_steers_at_the_hook() {
+        let mut p = Rfs::for_path(PathKind::Overlay, vec![1], 2).record_flow(5, 4);
+        let out = p.dispatch(
+            0,
+            Stage::SkbAlloc,
+            Stage::Gro,
+            1,
+            vec![skb(5)],
+            LoadView::new(&no_load()),
+        );
+        assert_eq!(out[0].0, 1, "pre-hook stages stay local");
+    }
+
+    #[test]
+    fn native_hook_at_ip() {
+        let mut p = Rfs::for_path(PathKind::Native, vec![1], 2).record_flow(5, 4);
+        let out = p.dispatch(
+            0,
+            Stage::Gro,
+            Stage::InnerIp,
+            1,
+            vec![skb(5)],
+            LoadView::new(&no_load()),
+        );
+        assert_eq!(out[0].0, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Receive Packet Steering: the kernel's software RSS. In the paper's
+//! overlay measurements RPS moved the post-VxLAN softirqs of a flow to a
+//! second core while the pNIC softirq — including the heavyweight VxLAN
+//! processing — stayed on the IRQ core, which therefore remained the
+//! bottleneck (§II-B, Figure 4b).
+
+use mflow_netstack::{LoadView, PacketSteering, PathKind, Skb, Stage};
+use mflow_sim::{CoreId, Time};
+
+/// RPS over the given core lists.
+#[derive(Clone, Debug)]
+pub struct Rps {
+    irq_cores: Vec<CoreId>,
+    target_cores: Vec<CoreId>,
+    /// Stage whose input is steered to the RPS target core.
+    steer_into: Stage,
+}
+
+impl Rps {
+    /// RPS as observed in the paper: for the overlay path the flow's
+    /// bridge/veth/transport half moves to the target core; for the native
+    /// path the protocol stack above the driver moves.
+    pub fn for_path(path: PathKind, irq_cores: Vec<CoreId>, target_cores: Vec<CoreId>) -> Self {
+        assert!(!irq_cores.is_empty() && !target_cores.is_empty());
+        let steer_into = match path {
+            PathKind::Overlay => Stage::Bridge,
+            PathKind::Native => Stage::InnerIp,
+        };
+        Self {
+            irq_cores,
+            target_cores,
+            steer_into,
+        }
+    }
+
+    fn target(&self, hash: u32) -> CoreId {
+        self.target_cores[hash as usize % self.target_cores.len()]
+    }
+}
+
+impl PacketSteering for Rps {
+    fn name(&self) -> &'static str {
+        "rps"
+    }
+
+    fn irq_core(&mut self, hash: u32) -> CoreId {
+        self.irq_cores[hash as usize % self.irq_cores.len()]
+    }
+
+    fn dispatch(
+        &mut self,
+        _now: Time,
+        _from: Stage,
+        to: Stage,
+        cur: CoreId,
+        batch: Vec<Skb>,
+        _loads: LoadView<'_>,
+    ) -> Vec<(CoreId, Vec<Skb>)> {
+        if to != self.steer_into {
+            return vec![(cur, batch)];
+        }
+        // Per-flow hash steering: group consecutive same-target runs.
+        let mut out: Vec<(CoreId, Vec<Skb>)> = Vec::new();
+        for skb in batch {
+            let t = self.target(skb.hash);
+            match out.last_mut() {
+                Some((c, v)) if *c == t => v.push(skb),
+                _ => out.push((t, vec![skb])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_load() -> [u64; 16] {
+        [0; 16]
+    }
+
+    fn skb(hash: u32) -> Skb {
+        let mut s = Skb::new(0, 0, 1514, 1448, 0, 0);
+        s.hash = hash;
+        s
+    }
+
+    #[test]
+    fn steers_only_at_the_rps_hook() {
+        let mut p = Rps::for_path(PathKind::Overlay, vec![1], vec![2]);
+        // Before the hook: stays local.
+        let out = p.dispatch(0, Stage::SkbAlloc, Stage::Gro, 1, vec![skb(9)], LoadView::new(&no_load()));
+        assert_eq!(out[0].0, 1);
+        // At the hook (into Bridge): moves to the target core.
+        let out = p.dispatch(0, Stage::VxlanDecap, Stage::Bridge, 1, vec![skb(9)], LoadView::new(&no_load()));
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn native_hook_is_at_ip() {
+        let mut p = Rps::for_path(PathKind::Native, vec![1], vec![2]);
+        let out = p.dispatch(0, Stage::Gro, Stage::InnerIp, 1, vec![skb(3)], LoadView::new(&no_load()));
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn single_flow_hits_single_target() {
+        let mut p = Rps::for_path(PathKind::Overlay, vec![1], vec![2, 3, 4]);
+        let out = p.dispatch(
+            0,
+            Stage::VxlanDecap,
+            Stage::Bridge,
+            1,
+            (0..10).map(|_| skb(77)).collect(),
+            LoadView::new(&no_load()),
+            );
+        assert_eq!(out.len(), 1, "one flow maps to exactly one RPS core");
+    }
+
+    #[test]
+    fn flows_spread_across_targets() {
+        let mut p = Rps::for_path(PathKind::Overlay, vec![1], vec![2, 3]);
+        let out = p.dispatch(
+            0,
+            Stage::VxlanDecap,
+            Stage::Bridge,
+            1,
+            vec![skb(0), skb(1), skb(0)],
+            LoadView::new(&no_load()),
+            );
+        // Alternating hashes produce separate runs.
+        assert_eq!(out.len(), 3);
+        assert_ne!(out[0].0, out[1].0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Receive-side scaling: the NIC hashes the 4-tuple and picks a queue, so
+//! each *flow* lands on one core and the whole receive pipeline runs there.
+//! This is the vanilla configuration of the paper's experiments — inter-flow
+//! parallelism only.
+
+use mflow_netstack::{LoadView, PacketSteering, Skb, Stage};
+use mflow_sim::{CoreId, Time};
+
+/// Hardware RSS over a set of cores (the NIC's indirection table).
+#[derive(Clone, Debug)]
+pub struct Rss {
+    cores: Vec<CoreId>,
+}
+
+impl Rss {
+    /// RSS spreading flows over `cores` by hash. With a single core this is
+    /// the paper's pinned single-flow vanilla setup.
+    pub fn new(cores: Vec<CoreId>) -> Self {
+        assert!(!cores.is_empty());
+        Self { cores }
+    }
+
+    /// Indirection-table lookup.
+    fn table(&self, hash: u32) -> CoreId {
+        self.cores[hash as usize % self.cores.len()]
+    }
+}
+
+impl PacketSteering for Rss {
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn irq_core(&mut self, hash: u32) -> CoreId {
+        self.table(hash)
+    }
+
+    fn dispatch(
+        &mut self,
+        _now: Time,
+        _from: Stage,
+        _to: Stage,
+        cur: CoreId,
+        batch: Vec<Skb>,
+        _loads: LoadView<'_>,
+    ) -> Vec<(CoreId, Vec<Skb>)> {
+        // The whole pipeline of a flow stays on its RSS core.
+        vec![(cur, batch)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_load() -> [u64; 16] {
+        [0; 16]
+    }
+
+    fn skb(flow: usize, hash: u32) -> Skb {
+        let mut s = Skb::new(0, flow, 1514, 1448, 0, 0);
+        s.hash = hash;
+        s
+    }
+
+    #[test]
+    fn same_hash_same_core() {
+        let mut p = Rss::new(vec![1, 2, 3]);
+        let a = p.irq_core(42);
+        let b = p.irq_core(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreads_different_hashes() {
+        let mut p = Rss::new(vec![1, 2, 3, 4]);
+        let cores: std::collections::BTreeSet<CoreId> =
+            (0..64u32).map(|h| p.irq_core(h.wrapping_mul(2654435761))).collect();
+        assert!(cores.len() > 1, "RSS must use multiple cores");
+    }
+
+    #[test]
+    fn never_migrates_mid_pipeline() {
+        let mut p = Rss::new(vec![1, 2]);
+        let out = p.dispatch(0, Stage::Gro, Stage::OuterIp, 2, vec![skb(0, 7), skb(0, 7)], LoadView::new(&no_load()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1.len(), 2);
+    }
+}

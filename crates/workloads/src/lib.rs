@@ -1,0 +1,25 @@
+//! `mflow-workloads` — the traffic generators and application models of
+//! the paper's evaluation (§V):
+//!
+//! * [`systems`] — the five systems under test (native, vanilla overlay,
+//!   RPS, FALCON, MFLOW) as ready-to-run configurations;
+//! * [`sockperf`] — single-flow throughput and under-load latency runs
+//!   (Figures 4, 8, 9);
+//! * [`multiflow`] — concurrent-flow scaling on a 10-kernel-core host
+//!   (Figures 10 and 12);
+//! * [`webserving`] — a CloudSuite-Web-Serving-like closed-loop multi-tier
+//!   model (Figure 11);
+//! * [`datacaching`] — a CloudSuite-Data-Caching (memcached) model
+//!   (Figure 13);
+//! * [`zipf`] — Zipfian key popularity for the caching workload.
+
+pub mod datacaching;
+pub mod multiflow;
+pub mod profile;
+pub mod sockperf;
+pub mod systems;
+pub mod webserving;
+pub mod zipf;
+
+pub use profile::StackProfile;
+pub use systems::System;

@@ -1,0 +1,107 @@
+//! Exchange profiles: per-system network characteristics measured on the
+//! packet-level simulator and consumed by the layered application model
+//! (web serving).
+//!
+//! A profile captures the latency distribution of one request/response
+//! exchange through the loaded stack plus the stack's aggregate capacity.
+//! Sampling uses a lognormal fitted to the measured p50/p99, which
+//! reproduces the heavy right tail that kernel queueing produces.
+
+use mflow_sim::Rng;
+
+use crate::datacaching::{run as caching_run, CachingOpts};
+use crate::systems::System;
+
+/// Measured network-exchange characteristics of one system under load.
+#[derive(Clone, Debug)]
+pub struct StackProfile {
+    pub system: System,
+    /// Median exchange latency.
+    pub p50_ns: u64,
+    /// Tail exchange latency.
+    pub p99_ns: u64,
+    /// Aggregate message capacity of the loaded stack.
+    pub msgs_per_sec: f64,
+    /// Payload bytes of the messages the capacity was measured with, so
+    /// consumers can convert capacity into bytes/s for heavier exchanges.
+    pub unit_bytes: u64,
+    /// Lognormal sigma fitted from (p50, p99).
+    sigma: f64,
+}
+
+impl StackProfile {
+    /// Builds a profile from explicit quantiles (tests, what-if studies).
+    pub fn from_quantiles(system: System, p50_ns: u64, p99_ns: u64, msgs_per_sec: f64) -> Self {
+        assert!(p50_ns > 0 && p99_ns >= p50_ns);
+        // For a lognormal, p99/p50 = exp(2.326 * sigma).
+        let sigma = ((p99_ns as f64 / p50_ns as f64).ln() / 2.326).max(0.01);
+        Self {
+            system,
+            p50_ns,
+            p99_ns,
+            msgs_per_sec,
+            unit_bytes: 550,
+            sigma,
+        }
+    }
+
+    /// Measures a profile by loading the stack with the data-caching
+    /// scenario (many interleaved small-message connections — the traffic
+    /// shape a multi-tier web app generates).
+    pub fn measure(system: System, opts: &CachingOpts) -> Self {
+        let r = caching_run(system, opts);
+        let mut p = Self::from_quantiles(
+            system,
+            r.report.latency.median().max(1),
+            r.report.latency.p99().max(1),
+            r.rps,
+        );
+        p.unit_bytes = opts.object_bytes;
+        p
+    }
+
+    /// Time the stack needs to move one exchange of `bytes` payload,
+    /// derived from the measured per-message capacity.
+    pub fn exchange_service_ns(&self, bytes: u64) -> u64 {
+        let units = (bytes as f64 / self.unit_bytes as f64).max(1.0);
+        (units * 1e9 / self.msgs_per_sec.max(1.0)).round() as u64
+    }
+
+    /// Samples one exchange latency.
+    pub fn sample_ns(&self, rng: &mut Rng) -> u64 {
+        let z = rng.normal(0.0, 1.0);
+        (self.p50_ns as f64 * (self.sigma * z).exp()).max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_distribution_matches_quantiles() {
+        let p = StackProfile::from_quantiles(System::Vanilla, 100_000, 400_000, 1e5);
+        let mut rng = Rng::new(5);
+        let mut xs: Vec<u64> = (0..50_000).map(|_| p.sample_ns(&mut rng)).collect();
+        xs.sort_unstable();
+        let p50 = xs[xs.len() / 2];
+        let p99 = xs[xs.len() * 99 / 100];
+        assert!((p50 as f64 / 100_000.0 - 1.0).abs() < 0.05, "p50 {p50}");
+        assert!((p99 as f64 / 400_000.0 - 1.0).abs() < 0.15, "p99 {p99}");
+    }
+
+    #[test]
+    fn degenerate_tail_still_samples() {
+        let p = StackProfile::from_quantiles(System::Mflow, 1000, 1000, 1.0);
+        let mut rng = Rng::new(6);
+        for _ in 0..100 {
+            assert!(p.sample_ns(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_quantiles_rejected() {
+        StackProfile::from_quantiles(System::Vanilla, 2000, 1000, 1.0);
+    }
+}

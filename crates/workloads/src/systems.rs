@@ -1,0 +1,168 @@
+//! The systems under test, as one enum that builds the right steering
+//! policy, merge hook and path for any scenario — the single place that
+//! encodes the paper's five experimental configurations.
+
+use mflow::{install, MflowConfig};
+use mflow_netstack::{MergeSetup, PacketSteering, PathKind, Transport};
+use mflow_sim::CoreId;
+use mflow_steering::{Falcon, FalconLevel, Rps, Rss};
+
+/// One of the paper's evaluated configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum System {
+    /// Physical host network, no containers.
+    Native,
+    /// Docker overlay (VXLAN) with default kernel behaviour.
+    Vanilla,
+    /// Overlay + Linux Receive Packet Steering.
+    Rps,
+    /// Overlay + FALCON device-level pipelining.
+    FalconDev,
+    /// Overlay + FALCON function-level pipelining.
+    FalconFun,
+    /// Overlay + MFLOW packet-level parallelism.
+    Mflow,
+}
+
+impl System {
+    /// All systems, in the paper's presentation order.
+    pub const ALL: [System; 6] = [
+        System::Native,
+        System::Vanilla,
+        System::Rps,
+        System::FalconDev,
+        System::FalconFun,
+        System::Mflow,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Native => "native",
+            System::Vanilla => "vanilla",
+            System::Rps => "rps",
+            System::FalconDev => "falcon-dev",
+            System::FalconFun => "falcon-fun",
+            System::Mflow => "mflow",
+        }
+    }
+
+    /// Network path this system runs on.
+    pub fn path(&self) -> PathKind {
+        match self {
+            System::Native => PathKind::Native,
+            _ => PathKind::Overlay,
+        }
+    }
+
+    /// Builds the policy (and MFLOW's merge hook) for the paper's
+    /// *single-flow* core layout: IRQ pinned to kernel core 1, helper cores
+    /// 2..=5, app core 0.
+    pub fn build_single_flow(
+        &self,
+        transport: Transport,
+    ) -> (Box<dyn PacketSteering>, Option<MergeSetup>) {
+        match self {
+            System::Native | System::Vanilla => (Box::new(Rss::new(vec![1])), None),
+            System::Rps => (
+                Box::new(Rps::for_path(self.path(), vec![1], vec![2])),
+                None,
+            ),
+            System::FalconDev => (
+                Box::new(Falcon::new(FalconLevel::Device, vec![1, 2, 3])),
+                None,
+            ),
+            System::FalconFun => (
+                Box::new(Falcon::new(FalconLevel::Function, vec![1, 2, 3, 4])),
+                None,
+            ),
+            System::Mflow => {
+                let cfg = match transport {
+                    Transport::Tcp => MflowConfig::tcp_full_path(),
+                    Transport::Udp => MflowConfig::udp_device_scaling(),
+                };
+                let (p, m) = install(cfg);
+                (p, Some(m))
+            }
+        }
+    }
+
+    /// Builds the policy for a *multi-flow* run over a kernel-core pool
+    /// (Figures 10 and 12): flows spread by hash; MFLOW splits each flow
+    /// across `lanes` neighbouring cores.
+    pub fn build_multi_flow(
+        &self,
+        kernel_cores: &[CoreId],
+        lanes: usize,
+    ) -> (Box<dyn PacketSteering>, Option<MergeSetup>) {
+        let cores = kernel_cores.to_vec();
+        match self {
+            System::Native | System::Vanilla => (Box::new(Rss::new(cores)), None),
+            System::Rps => {
+                let half = cores.len() / 2;
+                let (irq, tgt) = cores.split_at(half.max(1));
+                (
+                    Box::new(Rps::for_path(self.path(), irq.to_vec(), tgt.to_vec())),
+                    None,
+                )
+            }
+            System::FalconDev => (
+                Box::new(Falcon::new(FalconLevel::Device, cores).spread_flows()),
+                None,
+            ),
+            System::FalconFun => (
+                Box::new(Falcon::new(FalconLevel::Function, cores).spread_flows()),
+                None,
+            ),
+            System::Mflow => {
+                let cfg = MflowConfig::multi_flow(cores, lanes, 0);
+                let (p, m) = install(cfg);
+                (p, Some(m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_systems_with_unique_names() {
+        let names: std::collections::BTreeSet<_> =
+            System::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn only_native_uses_the_native_path() {
+        for s in System::ALL {
+            assert_eq!(s.path() == PathKind::Native, s == System::Native);
+        }
+    }
+
+    #[test]
+    fn only_mflow_installs_a_merger() {
+        for s in System::ALL {
+            let (_, merge) = s.build_single_flow(Transport::Tcp);
+            assert_eq!(merge.is_some(), s == System::Mflow, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mflow_transport_selects_scaling_mode() {
+        let (p_tcp, _) = System::Mflow.build_single_flow(Transport::Tcp);
+        let (p_udp, _) = System::Mflow.build_single_flow(Transport::Udp);
+        assert_eq!(p_tcp.name(), "mflow");
+        assert_eq!(p_udp.name(), "mflow-dev");
+    }
+
+    #[test]
+    fn multi_flow_builders_cover_all_systems() {
+        let cores: Vec<usize> = (5..15).collect();
+        for s in System::ALL {
+            let (p, _) = s.build_multi_flow(&cores, 2);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! CloudSuite Web Serving analogue (Figure 11): an Elgg-like social-network
+//! application on a multi-tier container deployment (nginx + memcached +
+//! mysql behind one overlay), driven by closed-loop users.
+//!
+//! Layered model: every operation is a sequence of network *exchanges*
+//! (client↔web, web↔cache, web↔db) whose latency is sampled from the
+//! per-system [`StackProfile`] measured on the packet-level simulator,
+//! plus PHP compute on the web server's cores, plus FIFO occupancy of the
+//! stack's aggregate message capacity. The benchmark reports, per
+//! operation type: successful operations (completed within the pacing
+//! target), response time and delay time — the same three metrics as the
+//! paper's Figures 11a–11c.
+
+use mflow_metrics::LatencyHistogram;
+use mflow_sim::{Ctx, Engine, Model, Rng, Time, MS, US};
+
+use crate::profile::StackProfile;
+
+/// One Elgg operation type.
+#[derive(Clone, Copy, Debug)]
+pub struct WebOpType {
+    pub name: &'static str,
+    /// Sequential network exchanges per operation (requests to the web
+    /// tier plus its cache/db round trips).
+    pub exchanges: u32,
+    /// Average payload per exchange (page fragments, query results).
+    pub bytes_per_exchange: u64,
+    /// PHP/app compute per operation on the web server.
+    pub server_cpu_ns: u64,
+    /// Pacing target: the operation succeeds when it finishes within this.
+    pub deadline_ns: u64,
+    /// Relative frequency in the mix.
+    pub weight: u32,
+}
+
+/// The Elgg-like operation mix (types follow the CloudSuite/Faban driver).
+pub fn elgg_mix() -> Vec<WebOpType> {
+    vec![
+        WebOpType { name: "BrowseToElgg", exchanges: 8, bytes_per_exchange: 36_000, server_cpu_ns: 400 * US, deadline_ns: 6_100 * US, weight: 18 },
+        WebOpType { name: "Login", exchanges: 24, bytes_per_exchange: 30_000, server_cpu_ns: 1_200 * US, deadline_ns: 21_000 * US, weight: 8 },
+        WebOpType { name: "CheckActivity", exchanges: 16, bytes_per_exchange: 28_000, server_cpu_ns: 700 * US, deadline_ns: 11_500 * US, weight: 16 },
+        WebOpType { name: "Chat", exchanges: 10, bytes_per_exchange: 18_000, server_cpu_ns: 350 * US, deadline_ns: 3_700 * US, weight: 14 },
+        WebOpType { name: "AddFriend", exchanges: 12, bytes_per_exchange: 16_000, server_cpu_ns: 500 * US, deadline_ns: 8_400 * US, weight: 10 },
+        WebOpType { name: "PostSelfWall", exchanges: 14, bytes_per_exchange: 22_000, server_cpu_ns: 600 * US, deadline_ns: 9_700 * US, weight: 10 },
+        WebOpType { name: "SendChatMessage", exchanges: 10, bytes_per_exchange: 12_000, server_cpu_ns: 300 * US, deadline_ns: 3_600 * US, weight: 14 },
+        WebOpType { name: "UpdateActivity", exchanges: 18, bytes_per_exchange: 26_000, server_cpu_ns: 800 * US, deadline_ns: 15_500 * US, weight: 10 },
+    ]
+}
+
+/// Web-serving scenario parameters (paper: 200 users).
+#[derive(Clone, Debug)]
+pub struct WebOpts {
+    pub users: usize,
+    /// Mean think time between a user's operations.
+    pub think_ns: u64,
+    pub duration_ns: u64,
+    pub seed: u64,
+    pub ops: Vec<WebOpType>,
+    /// Web-tier worker cores (PHP).
+    pub server_cores: usize,
+}
+
+impl Default for WebOpts {
+    fn default() -> Self {
+        Self {
+            users: 200,
+            think_ns: 80 * MS,
+            duration_ns: 20_000 * MS,
+            seed: 42,
+            ops: elgg_mix(),
+            server_cores: 8,
+        }
+    }
+}
+
+/// Per-operation-type statistics.
+#[derive(Debug)]
+pub struct OpStats {
+    pub name: &'static str,
+    pub attempts: u64,
+    pub successes: u64,
+    pub response: LatencyHistogram,
+    pub delay: LatencyHistogram,
+}
+
+impl OpStats {
+    /// Successful operations per minute of simulated time.
+    pub fn success_per_min(&self, duration_ns: u64) -> f64 {
+        self.successes as f64 * 60e9 / duration_ns as f64
+    }
+}
+
+/// Result of one web-serving run.
+#[derive(Debug)]
+pub struct WebResult {
+    pub per_op: Vec<OpStats>,
+    pub duration_ns: u64,
+}
+
+impl WebResult {
+    /// Total successful operations per minute.
+    pub fn total_success_per_min(&self) -> f64 {
+        self.per_op
+            .iter()
+            .map(|o| o.success_per_min(self.duration_ns))
+            .sum()
+    }
+
+    /// Mean response time across all operations (ns).
+    pub fn mean_response_ns(&self) -> f64 {
+        let (sum, n) = self.per_op.iter().fold((0.0, 0u64), |(s, n), o| {
+            (s + o.response.mean() * o.response.count() as f64, n + o.response.count())
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+enum Ev {
+    OpStart { user: usize },
+    ExchangeDone { user: usize },
+    ComputeDone { user: usize },
+}
+
+struct UserState {
+    op_idx: usize,
+    exchanges_left: u32,
+    op_start: Time,
+}
+
+struct WebSim {
+    opts: WebOpts,
+    profile: StackProfile,
+    users: Vec<UserState>,
+    stack_free_at: Time,
+    core_free_at: Vec<Time>,
+    rng: Rng,
+    stats: Vec<OpStats>,
+    weight_total: u32,
+}
+
+impl WebSim {
+    fn pick_op(&mut self) -> usize {
+        let mut w = self.rng.below(self.weight_total as u64) as u32;
+        for (i, op) in self.opts.ops.iter().enumerate() {
+            if w < op.weight {
+                return i;
+            }
+            w -= op.weight;
+        }
+        self.opts.ops.len() - 1
+    }
+
+    fn start_exchange(&mut self, user: usize, ctx: &mut Ctx<Ev>) {
+        // FIFO occupancy of the stack's aggregate byte capacity for this
+        // op's exchange size, then the sampled per-message latency.
+        let now = ctx.now();
+        let op = &self.opts.ops[self.users[user].op_idx];
+        // Payload sizes vary per fragment/query as well.
+        let bytes = (op.bytes_per_exchange as f64 * (0.5 + self.rng.f64())) as u64;
+        let service = self.profile.exchange_service_ns(bytes);
+        let start = self.stack_free_at.max(now);
+        self.stack_free_at = start + service;
+        let latency = self.profile.sample_ns(&mut self.rng);
+        ctx.schedule_at(start + service + latency, Ev::ExchangeDone { user });
+    }
+}
+
+impl Model for WebSim {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+        match ev {
+            Ev::OpStart { user } => {
+                let op_idx = self.pick_op();
+                // Real pages vary in asset count: draw the exchange count
+                // uniformly in [0.5, 1.5] x the type's nominal value.
+                let nominal = self.opts.ops[op_idx].exchanges as f64;
+                let factor = 0.5 + self.rng.f64();
+                let exchanges = (nominal * factor).round().max(1.0) as u32;
+                self.users[user] = UserState {
+                    op_idx,
+                    exchanges_left: exchanges,
+                    op_start: ctx.now(),
+                };
+                self.stats[op_idx].attempts += 1;
+                self.start_exchange(user, ctx);
+            }
+            Ev::ExchangeDone { user } => {
+                self.users[user].exchanges_left -= 1;
+                if self.users[user].exchanges_left > 0 {
+                    self.start_exchange(user, ctx);
+                } else {
+                    // PHP compute on the least-loaded web core.
+                    let op = &self.opts.ops[self.users[user].op_idx];
+                    let (core, &free) = self
+                        .core_free_at
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &f)| f)
+                        .unwrap();
+                    let start = free.max(ctx.now());
+                    let end = start + op.server_cpu_ns;
+                    self.core_free_at[core] = end;
+                    ctx.schedule_at(end, Ev::ComputeDone { user });
+                }
+            }
+            Ev::ComputeDone { user } => {
+                let st = &self.users[user];
+                let op = &self.opts.ops[st.op_idx];
+                let resp = ctx.now() - st.op_start;
+                let stats = &mut self.stats[st.op_idx];
+                stats.response.record(resp);
+                stats.delay.record(resp.saturating_sub(op.deadline_ns));
+                if resp <= op.deadline_ns {
+                    stats.successes += 1;
+                }
+                let think = self.rng.exp(self.opts.think_ns as f64) as u64;
+                ctx.schedule(think.max(1), Ev::OpStart { user });
+            }
+        }
+    }
+}
+
+/// Runs the web-serving benchmark against one system's profile.
+pub fn run(profile: &StackProfile, opts: &WebOpts) -> WebResult {
+    let stats = opts
+        .ops
+        .iter()
+        .map(|op| OpStats {
+            name: op.name,
+            attempts: 0,
+            successes: 0,
+            response: LatencyHistogram::new(),
+            delay: LatencyHistogram::new(),
+        })
+        .collect();
+    let weight_total = opts.ops.iter().map(|o| o.weight).sum();
+    let mut sim = WebSim {
+        users: (0..opts.users)
+            .map(|_| UserState {
+                op_idx: 0,
+                exchanges_left: 0,
+                op_start: 0,
+            })
+            .collect(),
+        stack_free_at: 0,
+        core_free_at: vec![0; opts.server_cores],
+        rng: Rng::new(opts.seed),
+        stats,
+        weight_total,
+        profile: profile.clone(),
+        opts: opts.clone(),
+    };
+    let mut engine = Engine::new();
+    for user in 0..sim.opts.users {
+        let jitter = sim.rng.below(sim.opts.think_ns.max(1)) ;
+        engine.schedule_at(jitter, Ev::OpStart { user });
+    }
+    let duration = sim.opts.duration_ns;
+    engine.run_until(&mut sim, duration);
+    WebResult {
+        per_op: sim.stats,
+        duration_ns: duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::System;
+
+    fn quick_opts() -> WebOpts {
+        WebOpts {
+            users: 60,
+            duration_ns: 3_000 * MS,
+            think_ns: 300 * MS,
+            ..Default::default()
+        }
+    }
+
+    fn profile(p50_us: u64, p99_us: u64) -> StackProfile {
+        StackProfile::from_quantiles(System::Vanilla, p50_us * US, p99_us * US, 300_000.0)
+    }
+
+    #[test]
+    fn all_op_types_get_exercised() {
+        let r = run(&profile(120, 600), &quick_opts());
+        for op in &r.per_op {
+            assert!(op.attempts > 0, "{} never sampled", op.name);
+        }
+    }
+
+    #[test]
+    fn faster_network_means_more_successes_and_lower_response() {
+        let slow = run(&profile(300, 1800), &quick_opts());
+        let fast = run(&profile(120, 500), &quick_opts());
+        assert!(
+            fast.total_success_per_min() > slow.total_success_per_min() * 1.2,
+            "fast {} vs slow {}",
+            fast.total_success_per_min(),
+            slow.total_success_per_min()
+        );
+        assert!(fast.mean_response_ns() < slow.mean_response_ns());
+    }
+
+    #[test]
+    fn successes_never_exceed_attempts() {
+        let r = run(&profile(150, 900), &quick_opts());
+        for op in &r.per_op {
+            assert!(op.successes <= op.attempts);
+            assert_eq!(op.response.count(), op.delay.count());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&profile(150, 900), &quick_opts());
+        let b = run(&profile(150, 900), &quick_opts());
+        assert_eq!(a.total_success_per_min(), b.total_success_per_min());
+        assert_eq!(a.mean_response_ns(), b.mean_response_ns());
+    }
+
+    #[test]
+    fn capacity_saturation_degrades_service() {
+        // Tiny message capacity: FIFO queueing dominates and successes drop.
+        let starved = StackProfile::from_quantiles(System::Vanilla, 120 * US, 500 * US, 3_000.0);
+        let ok = StackProfile::from_quantiles(System::Vanilla, 120 * US, 500 * US, 500_000.0);
+        let r_starved = run(&starved, &quick_opts());
+        let r_ok = run(&ok, &quick_opts());
+        assert!(r_starved.total_success_per_min() < r_ok.total_success_per_min() * 0.8);
+    }
+}

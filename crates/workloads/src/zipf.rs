@@ -1,0 +1,82 @@
+//! Zipfian key popularity, as in the Twitter dataset that CloudSuite's
+//! data-caching benchmark replays against memcached.
+
+use mflow_sim::Rng;
+
+/// A Zipf(s) sampler over `n` ranks using the classic rejection-inversion
+/// free approach: precomputed CDF (fine for the cache-sized `n` used here).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `0..n` with exponent `s` (~0.99 for the
+    /// Twitter-like distribution).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self { cdf: weights }
+    }
+
+    /// Samples a rank in `0..n`; rank 0 is the most popular key.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the constructor rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_popular_rank_dominates() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = Rng::new(1);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 2);
+        assert!(counts[0] > counts[1000].max(1) * 50);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = Rng::new(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let z = Zipf::new(100, 0.5);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

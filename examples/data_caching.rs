@@ -1,0 +1,40 @@
+//! Data caching (memcached-style) behind the overlay: Figure 13's workload
+//! — 550-byte objects, 4 server threads, 1 vs 10 clients.
+//!
+//! ```text
+//! cargo run -p mflow-examples --release --bin data_caching
+//! ```
+
+use mflow_sim::MS;
+use mflow_workloads::datacaching::{run, CachingOpts};
+use mflow_workloads::System;
+
+fn main() {
+    println!("memcached-style data caching, 550 B objects, 4 server threads\n");
+    for clients in [1usize, 10] {
+        println!("--- {clients} client(s) ---");
+        let opts = CachingOpts {
+            n_clients: clients,
+            duration_ns: 30 * MS,
+            warmup_ns: 8 * MS,
+            ..Default::default()
+        };
+        let mut vanilla_p99 = 0.0;
+        for sys in [System::Vanilla, System::FalconDev, System::Mflow] {
+            let r = run(sys, &opts);
+            if sys == System::Vanilla {
+                vanilla_p99 = r.p99_ns as f64;
+            }
+            println!(
+                "  {:<11} avg {:>7.1} us   p99 {:>7.1} us ({:+.0}% vs vanilla)   {:>9.0} req/s",
+                sys.name(),
+                r.avg_ns / 1e3,
+                r.p99_ns as f64 / 1e3,
+                (r.p99_ns as f64 / vanilla_p99 - 1.0) * 100.0,
+                r.rps
+            );
+        }
+    }
+    println!("\nWith 10 clients the server's kernel stack saturates; MFLOW's packet-level");
+    println!("parallelism cuts the tail — the paper reports -47% p99 latency.");
+}

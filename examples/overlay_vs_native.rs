@@ -1,0 +1,49 @@
+//! The paper's motivation in one binary: how much does the container
+//! overlay network cost versus the native host network, and how much of
+//! that do RPS / FALCON / MFLOW claw back?
+//!
+//! ```text
+//! cargo run -p mflow-examples --release --bin overlay_vs_native
+//! ```
+
+use mflow_netstack::Transport;
+use mflow_sim::MS;
+use mflow_workloads::sockperf::{throughput, SockperfOpts};
+use mflow_workloads::System;
+
+fn main() {
+    let opts = SockperfOpts {
+        duration_ns: 40 * MS,
+        warmup_ns: 10 * MS,
+        ..Default::default()
+    };
+    for transport in [Transport::Tcp, Transport::Udp] {
+        let tname = match transport {
+            Transport::Tcp => "TCP",
+            Transport::Udp => "UDP (3 clients)",
+        };
+        println!("\n=== single 64 KB flow, {tname} ===");
+        let native = throughput(System::Native, transport, 65536, &opts).goodput_gbps;
+        println!("  {:<11} {:>6.2} Gbps", "native", native);
+        let vanilla = throughput(System::Vanilla, transport, 65536, &opts).goodput_gbps;
+        println!(
+            "  {:<11} {:>6.2} Gbps  ({:-.0}% vs native — the overlay tax)",
+            "vanilla",
+            vanilla,
+            (vanilla / native - 1.0) * 100.0
+        );
+        for sys in [System::Rps, System::FalconDev, System::FalconFun, System::Mflow] {
+            let g = throughput(sys, transport, 65536, &opts).goodput_gbps;
+            println!(
+                "  {:<11} {:>6.2} Gbps  ({:+.0}% vs vanilla)",
+                sys.name(),
+                g,
+                (g / vanilla - 1.0) * 100.0
+            );
+        }
+    }
+    println!(
+        "\nThe overlay's longer pipeline (pNIC -> VXLAN -> bridge -> veth) overloads \
+         one core; only MFLOW parallelizes a single flow's packets across cores."
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: accelerate a single container-overlay TCP flow with MFLOW.
+//!
+//! Builds the simulated overlay receive path twice — once with the vanilla
+//! kernel behaviour (the whole pipeline on one core) and once with MFLOW's
+//! packet-level parallelism — and compares throughput, latency and
+//! ordering guarantees.
+//!
+//! ```text
+//! cargo run -p mflow-examples --release --bin quickstart
+//! ```
+
+use mflow::{install, MflowConfig};
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, StayLocal};
+
+fn main() {
+    // A single "elephant" TCP flow of 64 KB messages into a container
+    // behind a VXLAN overlay network.
+    let config = || StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+
+    // 1. Vanilla: the kernel squeezes every stage onto the IRQ core.
+    let vanilla = StackSim::run(config(), Box::new(StayLocal::new(1)), None);
+
+    // 2. MFLOW: split the flow into 256-packet micro-flows at the first
+    //    softirq, process them on cores 2-5 in parallel, and reassemble
+    //    in order before TCP (the paper's full-path scaling).
+    let (policy, merge) = install(MflowConfig::tcp_full_path());
+    let mflow = StackSim::run(config(), policy, Some(merge));
+
+    println!("container overlay network, single TCP flow, 64 KB messages\n");
+    println!("  {}", vanilla.summary());
+    println!("  {}", mflow.summary());
+    println!(
+        "\nMFLOW speedup: {:.0}%  (paper reports +81% and 29.8 Gbps)",
+        (mflow.goodput_gbps / vanilla.goodput_gbps - 1.0) * 100.0
+    );
+    println!(
+        "order preserved: {} packets raced across cores, {} reached TCP out of order",
+        mflow.ooo_merge_input, mflow.tcp_ooo_inserts
+    );
+    assert_eq!(mflow.tcp_ooo_inserts, 0, "reassembly must hide all disorder");
+}

@@ -1,0 +1,39 @@
+//! Visualize MFLOW's packet-level parallelism: an ASCII Gantt chart of
+//! which core runs which stage, vanilla vs MFLOW, over the same 300 µs of
+//! a 64 KB TCP flow through the overlay network.
+//!
+//! ```text
+//! cargo run -p mflow-examples --release --bin timeline
+//! ```
+
+use mflow::{install, MflowConfig};
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, StayLocal};
+use mflow_sim::MS;
+
+fn config() -> StackConfig {
+    let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+    cfg.trace = true;
+    cfg.duration_ns = 12 * MS;
+    cfg.warmup_ns = 4 * MS;
+    cfg
+}
+
+fn show(label: &str, report: &mflow_netstack::RunReport) {
+    let trace = report.trace.as_ref().expect("trace enabled");
+    println!("\n== {label}: {:.1} Gbps ==", report.goodput_gbps);
+    println!("(p = pNIC poll/alloc/gro, v = vxlan, u = user copy, t = tcp, m = mflow, i = ipi/interference)\n");
+    let from = 10 * MS;
+    print!("{}", trace.render_gantt(6, from, from + 300_000, 100));
+}
+
+fn main() {
+    let vanilla = StackSim::run(config(), Box::new(StayLocal::new(1)), None);
+    show("vanilla overlay (everything on core 1)", &vanilla);
+
+    let (policy, merge) = install(MflowConfig::tcp_full_path());
+    let mflow = StackSim::run(config(), policy, Some(merge));
+    show("mflow full-path scaling", &mflow);
+
+    println!("\nVanilla serializes the whole pipeline on one core; MFLOW keeps six cores");
+    println!("concurrently busy on the same flow and the copy thread (core 0) saturated.");
+}

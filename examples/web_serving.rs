@@ -1,0 +1,49 @@
+//! Web serving on an overlay network: the Elgg-like multi-tier workload of
+//! Figure 11, at a reduced user count for a fast demonstration.
+//!
+//! ```text
+//! cargo run -p mflow-examples --release --bin web_serving
+//! ```
+
+use mflow_sim::MS;
+use mflow_workloads::datacaching::CachingOpts;
+use mflow_workloads::webserving::{run, WebOpts};
+use mflow_workloads::{StackProfile, System};
+
+fn main() {
+    let profile_opts = CachingOpts {
+        n_clients: 10,
+        duration_ns: 30 * MS,
+        warmup_ns: 8 * MS,
+        ..Default::default()
+    };
+    let web_opts = WebOpts {
+        users: 100,
+        duration_ns: 6_000 * MS,
+        ..Default::default()
+    };
+    println!("web serving, {} users, Elgg-like operation mix\n", web_opts.users);
+    for sys in [System::Vanilla, System::FalconDev, System::Mflow] {
+        let profile = StackProfile::measure(sys, &profile_opts);
+        let result = run(&profile, &web_opts);
+        println!(
+            "{:<11} success {:>6.0} ops/min   mean response {:>7.2} ms   (exchange p50 {:>5.1}us)",
+            sys.name(),
+            result.total_success_per_min(),
+            result.mean_response_ns() / 1e6,
+            profile.p50_ns as f64 / 1e3,
+        );
+        for op in result.per_op.iter().take(3) {
+            println!(
+                "    {:<16} {:>5}/{:<5} ok  resp {:>7.2} ms",
+                op.name,
+                op.successes,
+                op.attempts,
+                op.response.mean() / 1e6
+            );
+        }
+    }
+    println!("\nFaster per-exchange processing under MFLOW compounds over the dozens of");
+    println!("cache/db round trips inside each operation — the paper measures up to 7.5x");
+    println!("more successful operations than the vanilla overlay.");
+}

@@ -1,0 +1,20 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use mflow_netstack::{NoiseConfig, StackConfig};
+use mflow_sim::MS;
+
+/// Shortens and de-noises a config for CI-speed integration runs.
+pub fn quick(mut cfg: StackConfig) -> StackConfig {
+    cfg.noise = NoiseConfig::off();
+    cfg.duration_ns = 16 * MS;
+    cfg.warmup_ns = 5 * MS;
+    cfg
+}
+
+/// Relative comparison helper: `a` within `tol` (fractional) of `b`.
+pub fn within(a: f64, b: f64, tol: f64) -> bool {
+    if b == 0.0 {
+        return a == 0.0;
+    }
+    (a / b - 1.0).abs() <= tol
+}

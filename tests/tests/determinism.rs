@@ -1,0 +1,101 @@
+//! Reproducibility: every figure in EXPERIMENTS.md must regenerate
+//! bit-identically from the same seed, for every system and workload.
+
+use integration_tests::quick;
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, Transport};
+use mflow_sim::MS;
+use mflow_workloads::datacaching::{self, CachingOpts};
+use mflow_workloads::multiflow::{self, MultiFlowOpts};
+use mflow_workloads::sockperf::{throughput, SockperfOpts};
+use mflow_workloads::System;
+
+#[test]
+fn all_systems_are_deterministic_single_flow() {
+    let opts = SockperfOpts {
+        duration_ns: 12 * MS,
+        warmup_ns: 4 * MS,
+        noise: true, // determinism must hold even with noise enabled
+        ..Default::default()
+    };
+    for sys in System::ALL {
+        for t in [Transport::Tcp, Transport::Udp] {
+            let a = throughput(sys, t, 16384, &opts);
+            let b = throughput(sys, t, 16384, &opts);
+            assert_eq!(a.delivered_bytes, b.delivered_bytes, "{sys:?}/{t:?}");
+            assert_eq!(a.messages, b.messages, "{sys:?}/{t:?}");
+            assert_eq!(a.events, b.events, "{sys:?}/{t:?}");
+            assert_eq!(a.latency.p99(), b.latency.p99(), "{sys:?}/{t:?}");
+            assert_eq!(a.ipis, b.ipis, "{sys:?}/{t:?}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_perturb_noisy_runs() {
+    let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+    cfg.duration_ns = 12 * MS;
+    cfg.warmup_ns = 4 * MS;
+    assert!(cfg.noise.enabled);
+    let mut cfg2 = cfg.clone();
+    cfg2.seed = cfg.seed + 1;
+    let a = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    let b = StackSim::run(cfg2, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    // Throughput may quantize to the same message count; the fine-grained
+    // fingerprint (event count, latency distribution) must differ.
+    let same = a.delivered_bytes == b.delivered_bytes
+        && a.events == b.events
+        && a.latency.p99() == b.latency.p99()
+        && a.latency.mean() == b.latency.mean();
+    assert!(!same, "noise must actually depend on the seed");
+}
+
+#[test]
+fn multiflow_and_caching_are_deterministic() {
+    let mopts = MultiFlowOpts {
+        duration_ns: 12 * MS,
+        warmup_ns: 4 * MS,
+        ..Default::default()
+    };
+    let a = multiflow::run(System::Mflow, 8, 65536, &mopts);
+    let b = multiflow::run(System::Mflow, 8, 65536, &mopts);
+    assert_eq!(a.per_flow_delivered, b.per_flow_delivered);
+
+    let copts = CachingOpts {
+        n_clients: 5,
+        duration_ns: 12 * MS,
+        warmup_ns: 4 * MS,
+        ..Default::default()
+    };
+    let a = datacaching::run(System::Vanilla, &copts);
+    let b = datacaching::run(System::Vanilla, &copts);
+    assert_eq!(a.report.delivered_bytes, b.report.delivered_bytes);
+    assert_eq!(a.p99_ns, b.p99_ns);
+}
+
+#[test]
+fn throughput_reaches_steady_state_before_measurement() {
+    // The calibration depends on warmup covering slow start and queue
+    // fill: inside the measurement window the per-millisecond rate must be
+    // stable for every system.
+    use mflow_workloads::sockperf::{throughput, SockperfOpts};
+    let opts = SockperfOpts {
+        duration_ns: 20 * MS,
+        warmup_ns: 6 * MS,
+        ..Default::default()
+    };
+    for sys in [System::Vanilla, System::Mflow, System::Native] {
+        let r = throughput(sys, mflow_netstack::Transport::Tcp, 65536, &opts);
+        let cv = r.steady_state_cv();
+        assert!(cv < 0.12, "{sys:?} unstable in window: cv {cv:.3}");
+    }
+}
+
+#[test]
+fn quiet_runs_have_zero_noise_cpu() {
+    let cfg = quick(StackConfig::single_flow(
+        PathKind::Overlay,
+        FlowSpec::tcp(65536, 0),
+    ));
+    let r = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    assert_eq!(r.cpu.tag_total_ns("interference"), 0);
+}

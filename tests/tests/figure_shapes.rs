@@ -1,0 +1,104 @@
+//! Shape assertions for the figures that are not already covered by the
+//! headline tests: Figure 7's batch-size relationship and the §III
+//! ablations (splitting-core count, merge placement, split point).
+
+use mflow::{install, MflowConfig, ScalingMode};
+use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, Stage};
+use mflow_sim::MS;
+
+fn noisy_tcp_config() -> StackConfig {
+    let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+    assert!(cfg.noise.enabled);
+    cfg.duration_ns = 20 * MS;
+    cfg.warmup_ns = 6 * MS;
+    cfg
+}
+
+fn run_batch(batch: u32) -> (u64, u64, f64) {
+    let mut mcfg = MflowConfig::tcp_full_path();
+    mcfg.batch_size = batch;
+    let (policy, merge) = install(mcfg);
+    let r = StackSim::run(noisy_tcp_config(), policy, Some(merge));
+    let pkts = (r.delivered_bytes / 1448).max(1);
+    (r.ooo_merge_input * 100_000 / pkts, r.ooo_merge_input, r.goodput_gbps)
+}
+
+#[test]
+fn fig7_shape_ooo_falls_steeply_with_batch_size() {
+    let (tiny_rate, _, tiny_tput) = run_batch(1);
+    let (paper_rate, _, paper_tput) = run_batch(256);
+    // The paper's claim: at 256+ the order-preservation effort is small.
+    assert!(
+        tiny_rate > 10 * paper_rate,
+        "batch=1 rate {tiny_rate} vs batch=256 rate {paper_rate} (per 100k pkts)"
+    );
+    // And tiny batches wreck throughput (GRO runs + per-batch reassembly).
+    assert!(
+        paper_tput > tiny_tput * 1.5,
+        "batch=256 {paper_tput:.1} Gbps vs batch=1 {tiny_tput:.1}"
+    );
+}
+
+#[test]
+fn ablation_two_splitting_cores_capture_most_of_the_win() {
+    // §III-A: "using two cores ... greatly accelerates", diminishing after.
+    let run_lanes = |lanes: Vec<usize>| {
+        let mut mcfg = MflowConfig::tcp_full_path();
+        mcfg.split_cores = lanes;
+        mcfg.branch_tails = None;
+        let (policy, merge) = install(mcfg);
+        StackSim::run(noisy_tcp_config(), policy, Some(merge)).goodput_gbps
+    };
+    let one = run_lanes(vec![2]);
+    let two = run_lanes(vec![2, 3]);
+    let three = run_lanes(vec![2, 3, 4]);
+    assert!(two > one * 1.3, "second core must pay off: {one:.1} -> {two:.1}");
+    let marginal = three / two;
+    assert!(
+        marginal < 1.15,
+        "third core should be near-flat, got {marginal:.2}x"
+    );
+}
+
+#[test]
+fn ablation_late_merge_beats_early_merge_for_udp() {
+    // §III-B: merge "as late as possible" along the stateless path.
+    let run_merge_at = |before: Stage| {
+        let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::udp(65536, 0));
+        cfg.flows = vec![FlowSpec::udp(65536, 0); 3];
+        cfg.duration_ns = 20 * MS;
+        cfg.warmup_ns = 6 * MS;
+        let (policy, mut merge) = install(MflowConfig::udp_device_scaling());
+        merge.before = before;
+        StackSim::run(cfg, policy, Some(merge)).goodput_gbps
+    };
+    let early = run_merge_at(Stage::UdpRx);
+    let late = run_merge_at(Stage::UserCopy);
+    assert!(
+        late > early * 1.2,
+        "late merge {late:.1} Gbps must beat early {early:.1}"
+    );
+}
+
+#[test]
+fn ablation_irq_split_beats_flow_split_for_tcp() {
+    // §III-A: only splitting before skb allocation unblocks the first core.
+    let run_mode = |mode: ScalingMode, tails: Option<Vec<usize>>| {
+        let mut mcfg = MflowConfig::tcp_full_path();
+        mcfg.mode = mode;
+        mcfg.branch_tails = tails;
+        let (policy, merge) = install(mcfg);
+        StackSim::run(noisy_tcp_config(), policy, Some(merge)).goodput_gbps
+    };
+    let flow_split = run_mode(
+        ScalingMode::Device {
+            split_into: Stage::OuterIp,
+        },
+        None,
+    );
+    let irq_split = run_mode(ScalingMode::FullPath, Some(vec![4, 5]));
+    assert!(
+        irq_split > flow_split * 1.2,
+        "irq split {irq_split:.1} Gbps vs flow split {flow_split:.1}"
+    );
+}

@@ -1,0 +1,118 @@
+//! The paper's headline numbers, asserted as bands: these tests are the
+//! repository's contract that the reproduction keeps its shape.
+//!
+//! Paper (§V-A, 64 KB single flow): MFLOW +81 % TCP / +139 % UDP over the
+//! vanilla overlay; MFLOW TCP 29.8 Gbps vs native 26.6; FALCON ~+80 % UDP;
+//! MFLOW ~+22 % over FALCON TCP and ~+21 % UDP.
+
+use mflow_netstack::Transport;
+use mflow_sim::MS;
+use mflow_workloads::sockperf::{throughput, SockperfOpts};
+use mflow_workloads::System;
+
+fn opts() -> SockperfOpts {
+    SockperfOpts {
+        duration_ns: 40 * MS,
+        warmup_ns: 10 * MS,
+        ..Default::default()
+    }
+}
+
+fn gbps(sys: System, t: Transport) -> f64 {
+    throughput(sys, t, 65536, &opts()).goodput_gbps
+}
+
+#[test]
+fn tcp_64k_headline_band() {
+    let native = gbps(System::Native, Transport::Tcp);
+    let vanilla = gbps(System::Vanilla, Transport::Tcp);
+    let mflow = gbps(System::Mflow, Transport::Tcp);
+
+    // Paper: 26.6 native / ~16.4 vanilla / 29.8 mflow.
+    assert!((24.0..30.0).contains(&native), "native {native:.1}");
+    assert!((14.0..19.0).contains(&vanilla), "vanilla {vanilla:.1}");
+    assert!((27.0..33.0).contains(&mflow), "mflow {mflow:.1}");
+
+    let gain = mflow / vanilla - 1.0;
+    assert!((0.55..1.15).contains(&gain), "mflow gain {:.0}%", gain * 100.0);
+    assert!(mflow > native, "mflow {mflow:.1} must beat native {native:.1}");
+
+    let overlay_tax = 1.0 - vanilla / native;
+    assert!(
+        (0.25..0.50).contains(&overlay_tax),
+        "overlay tax {:.0}% (paper ~40%)",
+        overlay_tax * 100.0
+    );
+}
+
+#[test]
+fn udp_64k_headline_band() {
+    let native = gbps(System::Native, Transport::Udp);
+    let vanilla = gbps(System::Vanilla, Transport::Udp);
+    let falcon = gbps(System::FalconDev, Transport::Udp);
+    let mflow = gbps(System::Mflow, Transport::Udp);
+
+    // Paper: overlay -80 % vs native; FALCON +80 %; MFLOW +139 % and +21 %
+    // over FALCON, still below native.
+    let tax = 1.0 - vanilla / native;
+    assert!((0.6..0.9).contains(&tax), "UDP overlay tax {:.0}%", tax * 100.0);
+    let f_gain = falcon / vanilla - 1.0;
+    assert!((0.5..1.3).contains(&f_gain), "falcon gain {:.0}%", f_gain * 100.0);
+    let m_gain = mflow / vanilla - 1.0;
+    assert!((1.0..1.8).contains(&m_gain), "mflow gain {:.0}%", m_gain * 100.0);
+    let vs_falcon = mflow / falcon - 1.0;
+    assert!((0.05..0.5).contains(&vs_falcon), "mflow vs falcon {:.0}%", vs_falcon * 100.0);
+    assert!(mflow < native, "UDP mflow must stay below native");
+}
+
+#[test]
+fn tcp_system_ordering_matches_figure_8a() {
+    let t = Transport::Tcp;
+    let vanilla = gbps(System::Vanilla, t);
+    let rps = gbps(System::Rps, t);
+    let fd = gbps(System::FalconDev, t);
+    let ff = gbps(System::FalconFun, t);
+    let mflow = gbps(System::Mflow, t);
+    assert!(
+        vanilla < rps && rps < fd && fd < ff && ff < mflow,
+        "ordering broken: {vanilla:.1} {rps:.1} {fd:.1} {ff:.1} {mflow:.1}"
+    );
+}
+
+#[test]
+fn mflow_reduces_median_latency_under_load() {
+    use mflow_workloads::sockperf::latency;
+    // Paper Figure 9: at 64 KB MFLOW reduces median latency ~46 % vs
+    // vanilla; a gap to native remains.
+    let o = SockperfOpts {
+        noise: true,
+        ..opts()
+    };
+    let vanilla = latency(System::Vanilla, Transport::Tcp, 65536, 0.85, &o);
+    let mflow = latency(System::Mflow, Transport::Tcp, 65536, 0.85, &o);
+    assert!(vanilla.latency.count() > 200 && mflow.latency.count() > 200);
+    let v = vanilla.latency.median() as f64;
+    let m = mflow.latency.median() as f64;
+    assert!(
+        m < 0.8 * v,
+        "mflow median {m:.0}ns not clearly below vanilla {v:.0}ns"
+    );
+}
+
+#[test]
+fn new_bottleneck_is_the_user_copy_thread() {
+    // Paper Figure 8b: after MFLOW removes the softirq bottleneck, core 0
+    // (the single copy thread) becomes the busiest core.
+    let r = throughput(System::Mflow, Transport::Tcp, 65536, &opts());
+    let copy_core_busy = r.cpu.busy_ns(0);
+    for core in 1..=5 {
+        assert!(
+            copy_core_busy >= r.cpu.busy_ns(core),
+            "core {core} busier than the copy core"
+        );
+    }
+    assert!(
+        r.cpu.utilization_pct(0, r.duration_ns) > 85.0,
+        "copy core should be nearly saturated"
+    );
+}

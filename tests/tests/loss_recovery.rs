@@ -1,0 +1,86 @@
+//! TCP loss recovery: with congestion control and RTO retransmission, a
+//! flow must survive NIC ring overruns — losing throughput, never
+//! correctness. (The paper's experiments stay under the drop cliff; these
+//! tests push past it to validate the substrate.)
+
+use integration_tests::quick;
+use mflow::{install, MflowConfig};
+use mflow_netstack::{FlowSpec, LoadModel, PathKind, StackConfig, StackSim};
+use mflow_sim::MS;
+
+/// A config whose ring is far too small for the window: drops guaranteed.
+fn droppy_config() -> StackConfig {
+    let mut flow = FlowSpec::tcp(65536, 0);
+    flow.load = LoadModel::Closed {
+        window_bytes: 2 << 20,
+    };
+    let mut cfg = quick(StackConfig::single_flow(PathKind::Overlay, flow));
+    cfg.ring_capacity = 256; // 2 MB of window vs ~370 KB of ring
+    cfg.duration_ns = 30 * MS;
+    cfg.warmup_ns = 8 * MS;
+    cfg
+}
+
+#[test]
+fn vanilla_tcp_survives_ring_overruns() {
+    let r = StackSim::run(
+        droppy_config(),
+        Box::new(mflow_netstack::StayLocal::new(1)),
+        None,
+    );
+    assert!(r.ring_drops > 0, "the scenario must actually drop");
+    assert!(r.tcp_retransmits > 0, "drops must trigger RTO recovery");
+    // Recovery here is timeout-driven (cumulative ACKs stall completely
+    // at a hole, so there is no dup-ACK signal), so throughput collapses
+    // — but the flow keeps making forward progress and loses nothing.
+    assert!(
+        r.goodput_gbps > 0.15,
+        "flow must keep making progress: {:.2} Gbps",
+        r.goodput_gbps
+    );
+    assert!(r.messages > 5, "only {} messages completed", r.messages);
+}
+
+#[test]
+fn mflow_drains_the_ring_too_fast_to_overrun_it() {
+    // Under the same adversarial ring, MFLOW's dispatch core does nothing
+    // but poll + steer, so it drains descriptors faster than the wire
+    // delivers them: the overrun (and the recovery tax) never happens.
+    // This is a side benefit of IRQ splitting the paper does not measure.
+    let (policy, merge) = install(MflowConfig::tcp_full_path());
+    let r = StackSim::run(droppy_config(), policy, Some(merge));
+    assert_eq!(r.ring_drops, 0, "dispatch core fell behind the wire");
+    assert_eq!(r.tcp_retransmits, 0);
+    assert!(r.goodput_gbps > 20.0, "{:.2} Gbps", r.goodput_gbps);
+    assert_eq!(r.sock_push_fail_tcp, 0);
+}
+
+#[test]
+fn no_spurious_retransmits_without_drops() {
+    // The default scenarios never drop; the RTO machinery must stay quiet.
+    let cfg = quick(StackConfig::single_flow(
+        PathKind::Overlay,
+        FlowSpec::tcp(65536, 0),
+    ));
+    let r = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    assert_eq!(r.ring_drops, 0);
+    assert_eq!(r.tcp_retransmits, 0, "spurious RTO");
+}
+
+#[test]
+fn slow_start_converges_to_the_same_throughput()
+{
+    // Congestion control must not change the steady-state numbers the
+    // calibration depends on: a long run with cwnd starts within a few
+    // percent of the historical value.
+    let cfg = quick(StackConfig::single_flow(
+        PathKind::Overlay,
+        FlowSpec::tcp(65536, 0),
+    ));
+    let r = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    assert!(
+        (15.0..18.5).contains(&r.goodput_gbps),
+        "vanilla overlay drifted: {:.2} Gbps",
+        r.goodput_gbps
+    );
+}
