@@ -10,7 +10,7 @@
 
 use mflow::{install, MflowConfig};
 use mflow_netstack::{
-    FlowSpec, NoiseConfig, StackConfig, StackSim, Transport,
+    FaultConfig, FlowSpec, NoiseConfig, StackConfig, StackSim, Transport,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -26,13 +26,18 @@ struct Args {
     seed: u64,
     noise: bool,
     cpu: bool,
+    faults: FaultConfig,
+    flush_after: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mflow_cli [--system native|vanilla|rps|falcon-dev|falcon-fun|mflow]\n\
          \x20                [--transport tcp|udp] [--msg BYTES] [--duration-ms MS]\n\
-         \x20                [--flows N] [--batch PKTS] [--seed N] [--no-noise] [--cpu]"
+         \x20                [--flows N] [--batch PKTS] [--seed N] [--no-noise] [--cpu]\n\
+         \x20                [--fault-seed N] [--fault-drop RATE] [--fault-drop-last]\n\
+         \x20                [--fault-dup RATE] [--fault-delay RATE]\n\
+         \x20                [--fault-kill-mf FLOW:MF] [--flush-after OFFERS]"
     );
     std::process::exit(2);
 }
@@ -48,6 +53,8 @@ fn parse_args() -> Args {
         seed: 42,
         noise: true,
         cpu: false,
+        faults: FaultConfig::none(),
+        flush_after: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -90,6 +97,30 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--no-noise" => args.noise = false,
             "--cpu" => args.cpu = true,
+            "--flush-after" => {
+                args.flush_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--fault-seed" => {
+                args.faults.seed = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-drop" => {
+                args.faults.drop_rate = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-drop-last" => args.faults.drop_last_only = true,
+            "--fault-dup" => {
+                args.faults.dup_rate = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-delay" => {
+                args.faults.delay_rate = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-kill-mf" => {
+                let v = value(&mut i);
+                let (flow, mf) = v.split_once(':').unwrap_or_else(|| usage());
+                args.faults.kill_microflows.push((
+                    flow.parse().unwrap_or_else(|_| usage()),
+                    mf.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -122,12 +153,19 @@ fn main() {
     if !a.noise {
         cfg.noise = NoiseConfig::off();
     }
+    let faults_on = a.faults.is_active();
+    if faults_on {
+        cfg.faults = Some(a.faults.clone());
+    }
     let (policy, merge) = if a.system == System::Mflow {
         let mut mcfg = match a.transport {
             Transport::Tcp => MflowConfig::tcp_full_path(),
             Transport::Udp => MflowConfig::udp_device_scaling(),
         };
         mcfg.batch_size = a.batch;
+        if a.flush_after.is_some() {
+            mcfg.flush_after_offers = a.flush_after;
+        }
         let (p, m) = install(mcfg);
         (p, Some(m))
     } else {
@@ -147,6 +185,16 @@ fn main() {
         "ordering: {} raced at merge, {} tcp ooo inserts, {} merge residue",
         r.ooo_merge_input, r.tcp_ooo_inserts, r.merge_residue
     );
+    if faults_on {
+        println!(
+            "faults: injected {} drops, {} dups, {} late skbs",
+            r.fault_drops, r.fault_dups, r.fault_delays
+        );
+        println!(
+            "degradation: {} micro-flows flushed, {} late drops, {} dup drops",
+            r.merge_flushed, r.merge_late_drops, r.merge_dup_drops
+        );
+    }
     println!(
         "latency: p50 {:.1}us  mean {:.1}us  p99 {:.1}us  max {:.1}us",
         r.latency.median() as f64 / 1e3,

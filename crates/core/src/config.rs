@@ -51,6 +51,10 @@ pub struct MflowConfig {
     pub dispatch_cost_per_seg_ns: f64,
     /// Reassembly cost per merge invocation, charged to the consumer.
     pub merge_cost_per_batch_ns: u64,
+    /// Flush deadline: merge-point offers without a release before the
+    /// merger force-advances past a stuck micro-flow (fault recovery).
+    /// `None` reproduces the textbook algorithm, which waits forever.
+    pub flush_after_offers: Option<u64>,
     /// Which flows get split. The single-flow configurations split
     /// unconditionally (the flow is the experiment); multi-flow setups
     /// identify elephants by rate with hysteresis.
@@ -73,6 +77,7 @@ impl MflowConfig {
             spread_flows: false,
             dispatch_cost_per_seg_ns: 25.0,
             merge_cost_per_batch_ns: 150,
+            flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
         }
     }
@@ -94,6 +99,7 @@ impl MflowConfig {
             spread_flows: false,
             dispatch_cost_per_seg_ns: 25.0,
             merge_cost_per_batch_ns: 150,
+            flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
         }
     }
@@ -114,6 +120,7 @@ impl MflowConfig {
             spread_flows: true,
             dispatch_cost_per_seg_ns: 25.0,
             merge_cost_per_batch_ns: 150,
+            flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
         }
     }

@@ -36,7 +36,7 @@ pub mod splitter;
 
 pub use config::{MflowConfig, ScalingMode};
 pub use elephant::{ElephantConfig, ElephantDetector};
-pub use reassembly::{BatchMerger, MergeCounter, MfTag};
+pub use reassembly::{BatchMerger, MergeCounter, MfTag, Offer};
 pub use splitter::MflowSteering;
 
 use mflow_netstack::{MergeSetup, PacketSteering};
@@ -48,7 +48,10 @@ pub fn install(cfg: MflowConfig) -> (Box<dyn PacketSteering>, MergeSetup) {
         Box::new(MflowSteering::new(cfg.clone())),
         MergeSetup {
             before: merge_before,
-            merger: Box::new(BatchMerger::new(cfg.merge_cost_per_batch_ns)),
+            merger: Box::new(
+                BatchMerger::new(cfg.merge_cost_per_batch_ns)
+                    .with_flush_deadline(cfg.flush_after_offers),
+            ),
         },
     )
 }

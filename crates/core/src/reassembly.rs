@@ -18,7 +18,7 @@
 //! real-thread runtime in `mflow-runtime`); [`BatchMerger`] adapts it to
 //! the simulator's skbs, passing never-split flows through untouched.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mflow_netstack::{FlowMerger, Skb};
 
@@ -32,16 +32,61 @@ pub struct MfTag {
     pub last: bool,
 }
 
+/// The fate of one offered item.
+///
+/// Only [`Offer::Accepted`] items can ever be released; the other two are
+/// dropped on the floor (and counted) so a lossy or duplicating transport
+/// degrades the merger instead of wedging or corrupting it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Parked or released; will appear in the output.
+    Accepted,
+    /// The counter already passed this micro-flow (it was flushed or
+    /// completed); the item is dropped and counted in
+    /// [`MergeCounter::late_drops`].
+    Late,
+    /// A copy of a micro-flow that is already closed, or that is being
+    /// collected on a different lane (the first-arriving copy wins); the
+    /// item is dropped and counted in [`MergeCounter::dup_drops`].
+    Duplicate,
+}
+
+/// What the merger knows about one in-flight micro-flow.
+#[derive(Clone, Copy, Debug)]
+struct MfEntry {
+    /// Lane (buffer queue) collecting the micro-flow. Learned on first
+    /// arrival; the real kernel reads it from the skb control block.
+    lane: usize,
+    /// Whether the `last` item has arrived (further copies are duplicates).
+    closed: bool,
+}
+
 /// The merging-counter reassembler for one flow, generic over the payload.
+///
+/// # Fault tolerance
+///
+/// The textbook algorithm deadlocks if a micro-flow never completes: the
+/// counter waits forever and every later micro-flow stays parked. To
+/// degrade gracefully instead, the merger keeps a *stall clock* counting
+/// offers since it last released anything. When a flush deadline is set
+/// (see [`MergeCounter::with_flush_deadline`]) and the clock reaches it,
+/// the counter force-advances past the stuck micro-flow, releasing parked
+/// successors; skipped IDs are recorded in [`MergeCounter::flushed_ids`].
+/// Late and duplicate arrivals are rejected with a recoverable [`Offer`]
+/// outcome rather than an assertion.
 #[derive(Clone, Debug)]
 pub struct MergeCounter<T> {
     lanes: BTreeMap<usize, VecDeque<(MfTag, T)>>,
     counter: u64,
-    /// Lane each known micro-flow was dispatched to (learned on arrival;
-    /// the real kernel reads it from the skb control block).
-    mf_lane: BTreeMap<u64, usize>,
+    mf_lane: BTreeMap<u64, MfEntry>,
     buffered: usize,
     released: u64,
+    /// Force-advance the counter after this many offers without a release.
+    flush_after_offers: Option<u64>,
+    offers_since_release: u64,
+    flushed_ids: BTreeSet<u64>,
+    late_drops: u64,
+    dup_drops: u64,
 }
 
 impl<T> Default for MergeCounter<T> {
@@ -51,7 +96,9 @@ impl<T> Default for MergeCounter<T> {
 }
 
 impl<T> MergeCounter<T> {
-    /// A reassembler whose counter starts at micro-flow 0.
+    /// A reassembler whose counter starts at micro-flow 0 and never
+    /// flushes (the textbook algorithm: waits forever on a lost
+    /// micro-flow).
     pub fn new() -> Self {
         Self {
             lanes: BTreeMap::new(),
@@ -59,7 +106,25 @@ impl<T> MergeCounter<T> {
             mf_lane: BTreeMap::new(),
             buffered: 0,
             released: 0,
+            flush_after_offers: None,
+            offers_since_release: 0,
+            flushed_ids: BTreeSet::new(),
+            late_drops: 0,
+            dup_drops: 0,
         }
+    }
+
+    /// A reassembler that force-advances past a stuck micro-flow once
+    /// `deadline` consecutive offers release nothing.
+    pub fn with_flush_deadline(deadline: u64) -> Self {
+        let mut m = Self::new();
+        m.flush_after_offers = Some(deadline.max(1));
+        m
+    }
+
+    /// Sets or clears the flush deadline on an existing reassembler.
+    pub fn set_flush_deadline(&mut self, deadline: Option<u64>) {
+        self.flush_after_offers = deadline.map(|d| d.max(1));
     }
 
     /// Current merging-counter value.
@@ -77,18 +142,111 @@ impl<T> MergeCounter<T> {
         self.released
     }
 
-    /// Offers one tagged item; appends any now-in-order items to `out`.
-    pub fn offer(&mut self, tag: MfTag, item: T, out: &mut Vec<T>) {
-        debug_assert!(
-            tag.id >= self.counter,
-            "micro-flow {} arrived after the counter passed it ({})",
-            tag.id,
-            self.counter
-        );
-        self.mf_lane.entry(tag.id).or_insert(tag.lane);
+    /// Micro-flow IDs the counter was force-advanced past.
+    pub fn flushed_ids(&self) -> &BTreeSet<u64> {
+        &self.flushed_ids
+    }
+
+    /// Count of micro-flows the counter was force-advanced past.
+    pub fn flushed(&self) -> u64 {
+        self.flushed_ids.len() as u64
+    }
+
+    /// Items rejected because the counter had already passed them.
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
+    }
+
+    /// Items rejected as duplicate copies of a known micro-flow.
+    pub fn dup_drops(&self) -> u64 {
+        self.dup_drops
+    }
+
+    /// Offers one tagged item; appends any now-in-order items to `out`
+    /// and reports the item's fate.
+    pub fn offer(&mut self, tag: MfTag, item: T, out: &mut Vec<T>) -> Offer {
+        if tag.id < self.counter {
+            self.late_drops += 1;
+            self.tick_stall_clock(out);
+            return Offer::Late;
+        }
+        match self.mf_lane.get_mut(&tag.id) {
+            Some(entry) if entry.closed || entry.lane != tag.lane => {
+                // Already complete, or being collected on another lane
+                // (a redispatched copy): the first-arriving copy wins.
+                self.dup_drops += 1;
+                self.tick_stall_clock(out);
+                return Offer::Duplicate;
+            }
+            Some(entry) => entry.closed |= tag.last,
+            None => {
+                self.mf_lane.insert(
+                    tag.id,
+                    MfEntry {
+                        lane: tag.lane,
+                        closed: tag.last,
+                    },
+                );
+            }
+        }
         self.lanes.entry(tag.lane).or_default().push_back((tag, item));
         self.buffered += 1;
+        let before = self.released;
         self.drain(out);
+        if self.released == before {
+            self.tick_stall_clock(out);
+        } else {
+            self.offers_since_release = 0;
+        }
+        Offer::Accepted
+    }
+
+    /// Advances the stall clock by one offer, force-flushing when the
+    /// deadline is hit while something is stuck.
+    fn tick_stall_clock(&mut self, out: &mut Vec<T>) {
+        self.offers_since_release += 1;
+        let Some(deadline) = self.flush_after_offers else {
+            return;
+        };
+        if self.offers_since_release >= deadline && !self.mf_lane.is_empty() {
+            self.flush_one(out);
+            self.offers_since_release = 0;
+        }
+    }
+
+    /// Force-advances the counter past the micro-flow it is stuck on,
+    /// then releases whatever that unblocks. Returns `false` when there
+    /// is nothing to flush.
+    pub fn flush_one(&mut self, out: &mut Vec<T>) -> bool {
+        if self.mf_lane.remove(&self.counter).is_some() {
+            // The current micro-flow arrived partially but never closed:
+            // its in-order prefix is already out, so just skip its ID.
+            self.flushed_ids.insert(self.counter);
+            self.counter += 1;
+        } else {
+            // Nothing of the current micro-flow (and possibly a run of
+            // successors) ever arrived: jump to the first one we hold.
+            let Some(&next) = self.mf_lane.keys().next() else {
+                return false;
+            };
+            self.flushed_ids.extend(self.counter..next);
+            self.counter = next;
+        }
+        self.drain(out);
+        true
+    }
+
+    /// Flushes repeatedly until no items remain parked and no micro-flow
+    /// is left open (end-of-stream recovery). Returns how many micro-flow
+    /// IDs were skipped.
+    pub fn flush_stalled(&mut self, out: &mut Vec<T>) -> u64 {
+        let before = self.flushed_ids.len();
+        while !self.mf_lane.is_empty() {
+            if !self.flush_one(out) {
+                break;
+            }
+        }
+        (self.flushed_ids.len() - before) as u64
     }
 
     /// Releases everything currently releasable.
@@ -96,12 +254,20 @@ impl<T> MergeCounter<T> {
         loop {
             // Step (1): locate the buffer queue holding the counter's
             // micro-flow. Unknown means its packets are still in flight.
-            let Some(&lane) = self.mf_lane.get(&self.counter) else {
+            let Some(&MfEntry { lane, .. }) = self.mf_lane.get(&self.counter) else {
                 return;
             };
             let Some(q) = self.lanes.get_mut(&lane) else {
                 return;
             };
+            // Defensive purge: an item the counter already passed can
+            // only sit at the front if per-lane FIFO order was violated
+            // upstream; dropping it beats wedging behind it.
+            while q.front().is_some_and(|(tag, _)| tag.id < self.counter) {
+                q.pop_front();
+                self.buffered -= 1;
+                self.late_drops += 1;
+            }
             // Step (2): consume packets of the current micro-flow.
             let mut advanced = false;
             while let Some((tag, _)) = q.front() {
@@ -135,6 +301,10 @@ impl<T> MergeCounter<T> {
         for (_, q) in std::mem::take(&mut self.lanes) {
             out.extend(q.into_iter().map(|(_, item)| item));
         }
+        // Forget in-flight micro-flow state too: leaving `mf_lane`
+        // populated made a drained merger treat fresh arrivals of those
+        // IDs as resumptions of ghost micro-flows.
+        self.mf_lane.clear();
         self.buffered = 0;
         out
     }
@@ -145,6 +315,8 @@ impl<T> MergeCounter<T> {
 pub struct BatchMerger {
     flows: BTreeMap<usize, MergeCounter<Skb>>,
     merge_cost_per_batch_ns: u64,
+    /// Flush deadline installed into every per-flow counter.
+    flush_after_offers: Option<u64>,
 }
 
 impl BatchMerger {
@@ -153,7 +325,23 @@ impl BatchMerger {
         Self {
             flows: BTreeMap::new(),
             merge_cost_per_batch_ns,
+            flush_after_offers: None,
         }
+    }
+
+    /// Installs a per-flow flush deadline (offers without a release before
+    /// the counter force-advances past a stuck micro-flow).
+    pub fn with_flush_deadline(mut self, deadline: Option<u64>) -> Self {
+        self.flush_after_offers = deadline;
+        self
+    }
+
+    fn flow_counter(&mut self, flow: usize) -> &mut MergeCounter<Skb> {
+        let deadline = self.flush_after_offers;
+        self.flows.entry(flow).or_insert_with(|| match deadline {
+            Some(d) => MergeCounter::with_flush_deadline(d),
+            None => MergeCounter::new(),
+        })
     }
 }
 
@@ -169,10 +357,8 @@ impl FlowMerger for BatchMerger {
                         lane: mf.core,
                         last: mf.last_in_batch,
                     };
-                    self.flows
-                        .entry(skb.flow)
-                        .or_default()
-                        .offer(tag, skb, &mut out);
+                    let flow = skb.flow;
+                    self.flow_counter(flow).offer(tag, skb, &mut out);
                 }
             }
         }
@@ -191,6 +377,26 @@ impl FlowMerger for BatchMerger {
         let mut out = Vec::new();
         for m in self.flows.values_mut() {
             out.extend(m.drain_all());
+        }
+        out
+    }
+
+    fn flushed(&self) -> u64 {
+        self.flows.values().map(|m| m.flushed()).sum()
+    }
+
+    fn late_drops(&self) -> u64 {
+        self.flows.values().map(|m| m.late_drops()).sum()
+    }
+
+    fn dup_drops(&self) -> u64 {
+        self.flows.values().map(|m| m.dup_drops()).sum()
+    }
+
+    fn flush_stalled(&mut self) -> Vec<Skb> {
+        let mut out = Vec::new();
+        for m in self.flows.values_mut() {
+            m.flush_stalled(&mut out);
         }
         out
     }
@@ -331,5 +537,157 @@ mod tests {
         let bm = BatchMerger::new(150);
         assert_eq!(bm.merge_cost_ns(1, 1), 150);
         assert_eq!(bm.merge_cost_ns(64, 0), 150);
+    }
+
+    #[test]
+    fn drain_all_forgets_inflight_microflows() {
+        // Regression: `drain_all` used to clear the lane queues but leave
+        // `mf_lane` populated, so a re-arrival of a drained micro-flow was
+        // treated as a resumption of a ghost entry — here mf 3 would stay
+        // invisible to the counter's lane lookup and wedge at id 0 lookup
+        // when the fresh copy lands on a different lane.
+        let mut m = MergeCounter::new();
+        let mut out = Vec::new();
+        m.offer(MfTag { id: 3, lane: 1, last: true }, 'x', &mut out);
+        let drained = m.drain_all();
+        assert_eq!(drained, vec!['x']);
+        // Fresh copy of mf 3 arrives on a different lane: must be a clean
+        // first arrival, not a duplicate of the drained ghost.
+        assert_eq!(
+            m.offer(MfTag { id: 3, lane: 0, last: true }, 'y', &mut out),
+            Offer::Accepted
+        );
+        assert_eq!(m.dup_drops(), 0);
+        // Completing mfs 0..3 (on their own lane, keeping per-lane FIFO)
+        // releases everything including the fresh copy.
+        for id in 0..3 {
+            m.offer(MfTag { id, lane: 2, last: true }, 'z', &mut out);
+        }
+        assert_eq!(out, vec!['z', 'z', 'z', 'y']);
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn late_arrival_is_rejected_not_fatal() {
+        let mut m = MergeCounter::new();
+        let mut out = Vec::new();
+        m.offer(MfTag { id: 0, lane: 0, last: true }, 'a', &mut out);
+        assert_eq!(m.counter(), 1);
+        // A straggler copy of mf 0 arrives after the counter passed it.
+        assert_eq!(
+            m.offer(MfTag { id: 0, lane: 1, last: true }, 'a', &mut out),
+            Offer::Late
+        );
+        assert_eq!(m.late_drops(), 1);
+        assert_eq!(out, vec!['a']);
+    }
+
+    #[test]
+    fn duplicate_copies_are_rejected() {
+        let mut m = MergeCounter::new();
+        let mut out = Vec::new();
+        // mf 1 parked (closed) on lane 1.
+        m.offer(MfTag { id: 1, lane: 1, last: true }, 'b', &mut out);
+        // A second copy on the same lane: mf already closed.
+        assert_eq!(
+            m.offer(MfTag { id: 1, lane: 1, last: true }, 'b', &mut out),
+            Offer::Duplicate
+        );
+        // A copy on a different lane: first-arriving copy wins.
+        assert_eq!(
+            m.offer(MfTag { id: 1, lane: 2, last: false }, 'b', &mut out),
+            Offer::Duplicate
+        );
+        assert_eq!(m.dup_drops(), 2);
+        // The surviving copy is still released intact.
+        m.offer(MfTag { id: 0, lane: 0, last: true }, 'a', &mut out);
+        assert_eq!(out, vec!['a', 'b']);
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn flush_deadline_skips_a_lost_microflow() {
+        // mf 0 is lost entirely; mfs 1..4 park behind it. After `deadline`
+        // offers with no release, the counter must skip mf 0 and release
+        // the parked successors in order.
+        let mut m = MergeCounter::with_flush_deadline(3);
+        let mut out = Vec::new();
+        for id in 1..=4u64 {
+            m.offer(
+                MfTag { id, lane: id as usize % 2, last: true },
+                id,
+                &mut out,
+            );
+        }
+        assert_eq!(out, vec![1, 2, 3, 4], "flush must release parked successors");
+        assert_eq!(m.flushed(), 1);
+        assert!(m.flushed_ids().contains(&0));
+        assert_eq!(m.counter(), 5);
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn flush_deadline_skips_a_microflow_missing_its_last_packet() {
+        // mf 0's closing packet is dropped: its prefix flows out, then the
+        // merger stalls with the open entry. The deadline closes it.
+        let mut m = MergeCounter::with_flush_deadline(2);
+        let mut out = Vec::new();
+        m.offer(MfTag { id: 0, lane: 0, last: false }, 'a', &mut out);
+        assert_eq!(out, vec!['a']);
+        // mf 1 parks; stall clock ticks to the deadline.
+        m.offer(MfTag { id: 1, lane: 1, last: false }, 'b', &mut out);
+        m.offer(MfTag { id: 1, lane: 1, last: true }, 'c', &mut out);
+        assert_eq!(out, vec!['a', 'b', 'c']);
+        assert_eq!(m.flushed(), 1);
+        assert_eq!(m.counter(), 2);
+    }
+
+    #[test]
+    fn without_deadline_the_textbook_algorithm_waits_forever() {
+        let mut m = MergeCounter::new();
+        let mut out = Vec::new();
+        for id in 1..100u64 {
+            m.offer(MfTag { id, lane: 0, last: true }, id, &mut out);
+        }
+        assert!(out.is_empty(), "no deadline: mf 0 blocks everything");
+        assert_eq!(m.flushed(), 0);
+    }
+
+    #[test]
+    fn flush_stalled_releases_everything_in_order() {
+        let mut m = MergeCounter::new();
+        let mut out = Vec::new();
+        // mfs 2, 5, 7 parked (0,1,3,4,6 lost); 5 is missing its close.
+        m.offer(MfTag { id: 2, lane: 0, last: true }, 2, &mut out);
+        m.offer(MfTag { id: 5, lane: 1, last: false }, 5, &mut out);
+        m.offer(MfTag { id: 7, lane: 0, last: true }, 7, &mut out);
+        assert!(out.is_empty());
+        let skipped = m.flush_stalled(&mut out);
+        assert_eq!(out, vec![2, 5, 7], "order preserved across flushes");
+        assert_eq!(skipped, 6, "ids 0,1,3,4,5,6 were skipped");
+        assert_eq!(m.buffered(), 0);
+        // Idempotent once drained.
+        assert_eq!(m.flush_stalled(&mut out), 0);
+    }
+
+    #[test]
+    fn batch_merger_surfaces_degradation_counters() {
+        use mflow_netstack::MicroflowTag;
+        let mut bm = BatchMerger::new(100).with_flush_deadline(Some(2));
+        let mk = |seq: u64, id: u64, core: usize, last: bool| {
+            let mut s = Skb::new(seq, 0, 1514, 1448, seq * 1448, 0);
+            s.mf = Some(MicroflowTag { id, core, last_in_batch: last });
+            s
+        };
+        // mf 0 lost; mfs 1..3 arrive and eventually flush through.
+        let out = bm.offer(vec![mk(1, 1, 0, true), mk(2, 2, 1, true), mk(3, 3, 0, true)]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(bm.flushed(), 1);
+        // A late copy of mf 0 now counts as a late drop.
+        assert!(bm.offer(vec![mk(0, 0, 1, true)]).is_empty());
+        assert_eq!(bm.late_drops(), 1);
+        assert_eq!(bm.dup_drops(), 0);
+        assert_eq!(bm.buffered(), 0);
+        assert!(bm.flush_stalled().is_empty());
     }
 }

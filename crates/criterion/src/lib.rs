@@ -1,0 +1,236 @@
+//! A small, dependency-free benchmarking shim exposing the subset of the
+//! `criterion` crate API this workspace's benches use, so `cargo bench`
+//! works in offline environments.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up, then
+//! timed over a fixed number of sampled batches, and the per-iteration
+//! mean, minimum and maximum are printed. No plots, no regression
+//! analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (upstream
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Names one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures under a timer (upstream `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    results: Option<Stats>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: target ~20ms per sample.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            ((Duration::from_millis(20).as_nanos() / probe.as_nanos()).max(1)) as u64;
+        let mut min_ns = f64::MAX;
+        let mut max_ns = 0.0f64;
+        let mut total_ns = 0.0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / per_sample as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total_ns += ns * per_sample as f64;
+            total_iters += per_sample;
+        }
+        self.results = Some(Stats {
+            mean_ns: total_ns / total_iters as f64,
+            min_ns,
+            max_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size: sample_size.max(1),
+        results: None,
+    };
+    f(&mut b);
+    match b.results {
+        Some(s) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>10.1} Kelem/s", n as f64 / s.mean_ns * 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>10.1} MB/s", n as f64 / s.mean_ns * 1e3)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<48} {:>12.1} ns/iter  [{:.1} .. {:.1}]{} ({} iters)",
+                s.mean_ns, s.min_ns, s.max_ns, rate, s.iters
+            );
+        }
+        None => println!("{name:<48} (no measurement)"),
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (upstream `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.sample_size = 10;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let sample_size = if self.sample_size == 0 { 10 } else { self.sample_size };
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `f` as a standalone entry.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let sample_size = if self.sample_size == 0 { 10 } else { self.sample_size };
+        run_one(&id.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_stats() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("add", 1), &21u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1u64) + 1));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(3u32).pow(2)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("batch", 256);
+        assert_eq!(id.name, "batch/256");
+    }
+}

@@ -1,20 +1,20 @@
 //! Figure data series: named (x, y) sequences with JSON output so every
 //! regenerated figure is machine-diffable against EXPERIMENTS.md.
-
-use serde::{Deserialize, Serialize};
+//!
+//! Serialization is hand-rolled (a tiny writer plus a minimal JSON value
+//! parser) so the metrics crate stays dependency-free and builds offline.
 
 /// A single (x, y) observation, with an optional human label for categorical
 /// x axes (message sizes, operation names, ...).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DataPoint {
     pub x: f64,
     pub y: f64,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub label: Option<String>,
 }
 
 /// A named series of points (one line on a figure).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     pub name: String,
     pub points: Vec<DataPoint>,
@@ -55,13 +55,30 @@ impl Series {
 }
 
 /// A full figure: title plus its series, serializable to JSON.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SeriesSet {
     pub title: String,
     pub x_label: String,
     pub y_label: String,
     pub series: Vec<Series>,
 }
+
+/// Why a JSON document failed to parse into a [`SeriesSet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 impl SeriesSet {
     /// Creates an empty figure container.
@@ -91,12 +108,327 @@ impl SeriesSet {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("series serialization cannot fail")
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"x_label\": {},\n", json_string(&self.x_label)));
+        out.push_str(&format!("  \"y_label\": {},\n", json_string(&self.y_label)));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&s.name)));
+            out.push_str("      \"points\": [");
+            for (j, p) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        { \"x\": ");
+                out.push_str(&json_number(p.x));
+                out.push_str(", \"y\": ");
+                out.push_str(&json_number(p.y));
+                if let Some(label) = &p.label {
+                    out.push_str(", \"label\": ");
+                    out.push_str(&json_string(label));
+                }
+                out.push_str(" }");
+            }
+            if !s.points.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// Parses from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let value = JsonValue::parse(s)?;
+        let obj = value.as_object("top level")?;
+        let mut set = SeriesSet::new(
+            obj.string_field("title")?,
+            obj.string_field("x_label")?,
+            obj.string_field("y_label")?,
+        );
+        for sv in obj.array_field("series")? {
+            let sobj = sv.as_object("series entry")?;
+            let series = set.add(sobj.string_field("name")?);
+            for pv in sobj.array_field("points")? {
+                let pobj = pv.as_object("point")?;
+                let x = pobj.number_field("x")?;
+                let y = pobj.number_field("y")?;
+                match pobj.get("label") {
+                    Some(JsonValue::String(label)) => {
+                        series.push_labelled(x, y, label.clone());
+                    }
+                    Some(JsonValue::Null) | None => series.push(x, y),
+                    Some(_) => {
+                        return Err(JsonError {
+                            message: "\"label\" must be a string".into(),
+                            offset: 0,
+                        })
+                    }
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` keeps a fractional part (1.0, not 1) and round-trips.
+        format!("{x:?}")
+    } else {
+        // JSON has no infinities; clamp like most encoders reject — we
+        // choose null-free output and saturate instead.
+        format!("{:?}", if x > 0.0 { f64::MAX } else { f64::MIN })
+    }
+}
+
+/// A parsed JSON value (just enough for [`SeriesSet`] documents).
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err("trailing characters", pos));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self, what: &str) -> Result<&Vec<(String, JsonValue)>, JsonError> {
+        match self {
+            JsonValue::Object(fields) => Ok(fields),
+            _ => Err(err(&format!("{what} must be an object"), 0)),
+        }
+    }
+}
+
+trait ObjectExt {
+    fn get(&self, key: &str) -> Option<&JsonValue>;
+    fn string_field(&self, key: &str) -> Result<String, JsonError>;
+    fn number_field(&self, key: &str) -> Result<f64, JsonError>;
+    fn array_field(&self, key: &str) -> Result<&Vec<JsonValue>, JsonError>;
+}
+
+impl ObjectExt for Vec<(String, JsonValue)> {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn string_field(&self, key: &str) -> Result<String, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::String(s)) => Ok(s.clone()),
+            _ => Err(err(&format!("missing string field \"{key}\""), 0)),
+        }
+    }
+
+    fn number_field(&self, key: &str) -> Result<f64, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::Number(x)) => Ok(*x),
+            _ => Err(err(&format!("missing number field \"{key}\""), 0)),
+        }
+    }
+
+    fn array_field(&self, key: &str) -> Result<&Vec<JsonValue>, JsonError> {
+        match self.get(key) {
+            Some(JsonValue::Array(items)) => Ok(items),
+            _ => Err(err(&format!("missing array field \"{key}\""), 0)),
+        }
+    }
+}
+
+fn err(message: &str, offset: usize) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(err("expected a JSON value", *pos)),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err("invalid keyword", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| err("invalid number", start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err("invalid \\u escape", *pos))?;
+                        // Surrogate pairs are not needed for figure labels.
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err("invalid utf-8", *pos))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err("expected ',' or ']'", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // {
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected object key", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err("expected ':'", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(err("expected ',' or '}'", *pos)),
+        }
     }
 }
 
@@ -133,5 +465,24 @@ mod tests {
         assert!(set.get("native").is_some());
         assert!(set.get("nope").is_none());
         assert_eq!(set.get("mflow").unwrap().y_at(1.0), Some(29.8));
+    }
+
+    #[test]
+    fn roundtrip_survives_escapes_and_negatives() {
+        let mut set = SeriesSet::new("quo\"te\nline", "x\\path", "y");
+        set.add("s1").push(-1.5, -2.75e3);
+        set.add("empty");
+        let back = SeriesSet::from_json(&set.to_json()).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(SeriesSet::from_json("").is_err());
+        assert!(SeriesSet::from_json("{").is_err());
+        assert!(SeriesSet::from_json("[1, 2]").is_err());
+        assert!(SeriesSet::from_json("{\"title\": \"t\"}").is_err());
+        let good = SeriesSet::new("t", "x", "y").to_json();
+        assert!(SeriesSet::from_json(&format!("{good} trailing")).is_err());
     }
 }

@@ -56,7 +56,7 @@ impl GeneveHeader {
     /// # Panics
     /// Panics if the option payload is not 4-byte aligned or too long.
     pub fn with_option(mut self, class: u16, option_type: u8, data: Vec<u8>) -> Self {
-        assert!(data.len() % 4 == 0 && data.len() <= 124, "bad option length");
+        assert!(data.len().is_multiple_of(4) && data.len() <= 124, "bad option length");
         self.options.push(GeneveOption {
             class,
             option_type,

@@ -56,10 +56,13 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// Timestamped raw frames: `(ts_ns, frame)` pairs.
+pub type PcapRecords = Vec<(u64, Vec<u8>)>;
+
 /// Parses the global header of a pcap byte stream, returning `(version,
 /// linktype, records)` where records are `(ts_ns, frame)` pairs. Used by
 /// the round-trip tests; not a general-purpose reader.
-pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, Vec<(u64, Vec<u8>)>), crate::ParseError> {
+pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, PcapRecords), crate::ParseError> {
     use crate::ParseError;
     if data.len() < 24 {
         return Err(ParseError::Truncated);

@@ -1,14 +1,14 @@
 //! Simulation configuration: flows, load models, cores, noise.
 
-use serde::{Deserialize, Serialize};
 
 use mflow_sim::{CoreId, MS, US};
 
 use crate::cost::CostModel;
+use crate::faults::FaultConfig;
 use crate::stage::{PathKind, Transport};
 
 /// How a client offers load.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LoadModel {
     /// Closed loop: keep `window_bytes` of unacknowledged data in flight
     /// (TCP throughput mode; the window models the paper's "outstanding
@@ -23,7 +23,7 @@ pub enum LoadModel {
 }
 
 /// One sender→receiver flow.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FlowSpec {
     pub transport: Transport,
     /// Application message size in bytes (sockperf's `--msg-size`).
@@ -73,7 +73,7 @@ impl FlowSpec {
 /// Background noise that perturbs core progress: the "concurrent kernel
 /// tasks" of §III-B that make parallel branches drift and cause
 /// out-of-order arrivals at the merge point.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NoiseConfig {
     pub enabled: bool,
     /// Mean interval between interference bursts per core.
@@ -134,6 +134,9 @@ pub struct StackConfig {
     /// and resends from the cumulative ACK.
     pub tcp_rto_ns: u64,
     pub seed: u64,
+    /// Deterministic fault injection at the merge point (`None` or an
+    /// inactive config runs the unperturbed stack).
+    pub faults: Option<FaultConfig>,
     /// Total simulated time.
     pub duration_ns: u64,
     /// Statistics ignore everything before this point.
@@ -158,6 +161,7 @@ impl StackConfig {
             trace: false,
             tcp_rto_ns: 8 * MS,
             seed: 42,
+            faults: None,
             duration_ns: 60 * MS,
             warmup_ns: 10 * MS,
         }

@@ -11,12 +11,11 @@
 //! Where a constant models a specific kernel behaviour, the comment says
 //! which one.
 
-use serde::{Deserialize, Serialize};
 
 use crate::stage::{PathKind, Stage};
 
 /// Cost coefficients of one stage.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StageCost {
     /// Fixed cost per executed batch (softirq entry, queue locking).
     pub per_batch: f64,
@@ -41,7 +40,7 @@ impl StageCost {
 }
 
 /// The full cost model of the simulated host.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     pub driver_poll: StageCost,
     pub skb_alloc: StageCost,

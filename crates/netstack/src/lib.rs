@@ -11,6 +11,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod faults;
 pub mod gro;
 pub mod policy;
 pub mod report;
@@ -23,6 +24,7 @@ pub mod tcp;
 
 pub use config::{FlowSpec, LoadModel, NoiseConfig, StackConfig};
 pub use cost::CostModel;
+pub use faults::{FaultConfig, FaultCounts, FaultPlan};
 pub use policy::{FlowMerger, LoadView, PacketSteering, StayLocal};
 pub use report::RunReport;
 pub use skb::{FlowId, MicroflowTag, MsgEnd, Skb};

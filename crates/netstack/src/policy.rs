@@ -96,6 +96,30 @@ pub trait FlowMerger {
     /// Buffered skbs that will never be released (end-of-run accounting);
     /// draining them lets reports detect stuck merges.
     fn drain(&mut self) -> Vec<Skb>;
+
+    /// Micro-flows the merger gave up waiting for and skipped past
+    /// (flush-deadline recovery). Zero for mergers without a deadline.
+    fn flushed(&self) -> u64 {
+        0
+    }
+
+    /// Skbs dropped because they arrived after the merger had already
+    /// passed their micro-flow.
+    fn late_drops(&self) -> u64 {
+        0
+    }
+
+    /// Skbs dropped as duplicate copies of a known micro-flow.
+    fn dup_drops(&self) -> u64 {
+        0
+    }
+
+    /// Force-releases parked skbs by skipping every stuck micro-flow
+    /// (end-of-stream recovery). Returned skbs are in released order.
+    /// Mergers without flush support release nothing.
+    fn flush_stalled(&mut self) -> Vec<Skb> {
+        Vec::new()
+    }
 }
 
 /// The simplest steering: everything stays on the core it is already on —

@@ -52,6 +52,20 @@ pub struct RunReport {
     pub merge_invocations: u64,
     /// Skbs still buffered in the merger at the end (should be ~0).
     pub merge_residue: usize,
+    /// Micro-flows the merger gave up waiting for and skipped past
+    /// (flush-deadline recovery under loss).
+    pub merge_flushed: u64,
+    /// Skbs the merger dropped for arriving after their micro-flow was
+    /// passed.
+    pub merge_late_drops: u64,
+    /// Skbs the merger dropped as duplicate copies.
+    pub merge_dup_drops: u64,
+    /// Skbs deleted by the fault injector at the merge input.
+    pub fault_drops: u64,
+    /// Duplicate skbs injected by the fault injector.
+    pub fault_dups: u64,
+    /// Skbs the fault injector delivered late.
+    pub fault_delays: u64,
     /// Delivered bytes per 1 ms window over the whole run — for
     /// convergence checks and throughput-over-time plots.
     pub delivered_series: WindowedRate,

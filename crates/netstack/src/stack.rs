@@ -13,6 +13,7 @@ use mflow_sim::time::wire_ns;
 use mflow_sim::{CoreId, CoreSet, Ctx, Engine, Model, Rng, Time};
 
 use crate::config::{LoadModel, StackConfig};
+use crate::faults::FaultPlan;
 use crate::policy::{FlowMerger, LoadView, PacketSteering};
 use crate::report::RunReport;
 use crate::ring::RxRing;
@@ -122,6 +123,8 @@ pub struct StackSim {
     socks: Vec<Socket>,
     link_free_at: Time,
     rng: Rng,
+    /// Active fault-injection plan (merge-point perturbation).
+    faults: Option<FaultPlan>,
     stats: Stats,
 }
 
@@ -208,6 +211,11 @@ impl StackSim {
             rings[*c] = Some(RxRing::new(cfg.ring_capacity));
         }
         let _ = rng.next_u64();
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|f| f.is_active())
+            .map(FaultPlan::new);
         let mut cores = CoreSet::new(n_cores);
         if cfg.trace {
             cores.enable_trace();
@@ -228,6 +236,7 @@ impl StackSim {
             socks,
             link_free_at: 0,
             rng,
+            faults,
             cfg,
             policy,
             merge,
@@ -616,6 +625,9 @@ impl StackSim {
             for (target, mut sub) in assignments {
                 if let Some(setup) = &mut self.merge {
                     if setup.before == next {
+                        if let Some(plan) = &mut self.faults {
+                            sub = plan.apply(sub);
+                        }
                         // Out-of-order accounting at the merge input.
                         for skb in &sub {
                             let f = &mut self.flows[skb.flow];
@@ -725,6 +737,9 @@ impl StackSim {
         // Late merge (device scaling): reorder before delivery to the app.
         if let Some(setup) = &mut self.merge {
             if setup.before == Stage::UserCopy {
+                if let Some(plan) = &mut self.faults {
+                    batch = plan.apply(batch);
+                }
                 for skb in &batch {
                     let f = &mut self.flows[skb.flow];
                     if let Some(max) = f.max_seen_merge {
@@ -858,15 +873,28 @@ impl StackSim {
         let tcp_ooo_inserts: u64 = self.flows.iter().map(|f| f.rx.ooo_inserts()).sum();
         let tcp_retransmits: u64 = self.clients.iter().map(|c| c.sender.retransmits).sum();
         let tcp_inversions: u64 = self.flows.iter().map(|f| f.rx.inversions()).sum();
-        let merge_residue = self
+        let fault_counts = self
+            .faults
+            .as_mut()
+            .map(|p| {
+                p.finish();
+                p.counts()
+            })
+            .unwrap_or_default();
+        let (merge_residue, merge_flushed, merge_late_drops, merge_dup_drops) = self
             .merge
             .as_mut()
             .map(|m| {
                 let residue = m.merger.buffered();
                 let _ = m.merger.drain();
-                residue
+                (
+                    residue,
+                    m.merger.flushed(),
+                    m.merger.late_drops(),
+                    m.merger.dup_drops(),
+                )
             })
-            .unwrap_or(0);
+            .unwrap_or((0, 0, 0, 0));
         RunReport {
             policy: self.policy.name().to_string(),
             duration_ns,
@@ -891,6 +919,12 @@ impl StackSim {
             ipis: self.stats.ipis,
             merge_invocations: self.stats.merge_invocations,
             merge_residue,
+            merge_flushed,
+            merge_late_drops,
+            merge_dup_drops,
+            fault_drops: fault_counts.drops,
+            fault_dups: fault_counts.dups,
+            fault_delays: fault_counts.delays,
             delivered_series: self.stats.delivered_series.take().expect("series present"),
             trace: self.cores.trace().cloned(),
             backlog_watermark: self.backlog_watermark.clone(),

@@ -5,24 +5,22 @@
 //! overlay path visits three softirq "devices" (pNIC, VxLAN, veth) exactly
 //! as Figure 2 of the paper describes.
 
-use serde::{Deserialize, Serialize};
-
 /// Transport protocol of a path.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Transport {
     Tcp,
     Udp,
 }
 
 /// Network path: native host networking or the VXLAN container overlay.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PathKind {
     Native,
     Overlay,
 }
 
 /// One processing stage of the receive path.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// First half of the pNIC softirq: walk the completion queue and locate
     /// packet requests (descriptors). MFLOW's IRQ-splitting divides the

@@ -300,7 +300,7 @@ mod tests {
         tx.on_ack(before);
         // ~1 MSS growth per window's worth of ACKs.
         let grown = tx.cwnd_bytes - before;
-        assert!(grown >= MSS - 2 && grown <= MSS + 2, "grew {grown}");
+        assert!((MSS - 2..=MSS + 2).contains(&grown), "grew {grown}");
     }
 
     #[test]

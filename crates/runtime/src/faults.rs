@@ -1,0 +1,182 @@
+//! Deterministic fault injection for the real-thread pipeline.
+//!
+//! The simulator's fault plan (`mflow_netstack::faults`) perturbs skbs in
+//! virtual time; this is its counterpart for actual OS threads, where the
+//! interesting failures are scheduling-shaped: a worker stalls mid-stream,
+//! a worker dies outright, a micro-flow is redispatched twice or arrives
+//! a few batches late. Packet-level loss is injected too, including the
+//! targeted loss of batch-closing packets — the single packet the merging
+//! counter cannot advance without.
+//!
+//! Per-micro-flow and per-packet decisions are pure hashes of
+//! `(seed, micro-flow id, packet seq)`, so a given seed faults the same
+//! micro-flows on every run regardless of thread interleaving — what the
+//! scheduler *does* with the faults varies, which is exactly the space
+//! the stress tests explore.
+
+/// Kill one worker thread mid-run.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerKill {
+    /// Worker (lane) index to kill.
+    pub worker: usize,
+    /// The worker panics after processing this many batches.
+    pub after_batches: u64,
+}
+
+/// Fault mix for [`process_parallel_faulty`].
+///
+/// [`process_parallel_faulty`]: crate::pipeline::process_parallel_faulty
+#[derive(Clone, Debug)]
+pub struct RuntimeFaults {
+    /// Seed for all hash-based decisions.
+    pub seed: u64,
+    /// Probability a packet is dropped at dispatch (never reaches any
+    /// worker).
+    pub drop_rate: f64,
+    /// Probability the *closing* packet of a micro-flow is dropped —
+    /// leaves the micro-flow permanently open at the merger.
+    pub drop_last_rate: f64,
+    /// Probability a whole micro-flow is dispatched twice (the copy rides
+    /// a recovery lane to a different worker).
+    pub dup_mf_rate: f64,
+    /// Probability a whole micro-flow is held back and dispatched
+    /// [`RuntimeFaults::late_by`] batches later on a recovery lane.
+    pub late_mf_rate: f64,
+    /// How many batches a late micro-flow is held for.
+    pub late_by: u64,
+    /// Probability a worker stalls before processing a batch.
+    pub stall_rate: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Kill a worker mid-run.
+    pub kill: Option<WorkerKill>,
+    /// Merger flush deadline: with no arrivals for this long, the merger
+    /// force-advances past the micro-flow it is stuck on. `None` waits
+    /// forever (only safe without loss faults).
+    pub flush_timeout_ms: Option<u64>,
+}
+
+impl RuntimeFaults {
+    /// No faults; the pipeline behaves exactly like [`process_parallel`].
+    ///
+    /// [`process_parallel`]: crate::pipeline::process_parallel
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            drop_last_rate: 0.0,
+            dup_mf_rate: 0.0,
+            late_mf_rate: 0.0,
+            late_by: 2,
+            stall_rate: 0.0,
+            stall_ms: 1,
+            kill: None,
+            flush_timeout_ms: Some(100),
+        }
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.drop_last_rate > 0.0
+            || self.dup_mf_rate > 0.0
+            || self.late_mf_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.kill.is_some()
+    }
+
+    /// True with probability `rate`, as a pure function of the key.
+    pub(crate) fn decide(&self, salt: u64, mf_id: u64, seq: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut x = self.seed ^ salt;
+        for v in [mf_id, seq] {
+            // SplitMix64 finalizer over the accumulated key.
+            x = x.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+        }
+        ((x >> 11) as f64) / ((1u64 << 53) as f64) < rate
+    }
+
+    /// Whether dispatch drops this packet (`drop_rate`, or
+    /// `drop_last_rate` when it closes its micro-flow). Recomputable by
+    /// tests to predict exactly which packets never entered the pipeline.
+    pub fn drops_packet(&self, mf_id: u64, seq: u64, closes_batch: bool) -> bool {
+        self.decide(0xD709, mf_id, seq, self.drop_rate)
+            || (closes_batch && self.decide(0x1A57, mf_id, seq, self.drop_last_rate))
+    }
+
+    /// Whether this micro-flow is dispatched twice.
+    pub fn duplicates_mf(&self, mf_id: u64) -> bool {
+        self.decide(0xD0B1, mf_id, 0, self.dup_mf_rate)
+    }
+
+    /// Whether this micro-flow is held back and dispatched late.
+    pub fn delays_mf(&self, mf_id: u64) -> bool {
+        self.decide(0xDE1A, mf_id, 0, self.late_mf_rate)
+    }
+
+    /// Whether a worker stalls before processing this micro-flow's batch.
+    pub fn stalls_on(&self, mf_id: u64) -> bool {
+        self.decide(0x57A1, mf_id, 0, self.stall_rate)
+    }
+}
+
+impl Default for RuntimeFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        assert!(!RuntimeFaults::none().is_active());
+        assert!(!RuntimeFaults::none().drops_packet(3, 17, true));
+    }
+
+    #[test]
+    fn kill_alone_makes_it_active() {
+        let mut f = RuntimeFaults::none();
+        f.kill = Some(WorkerKill {
+            worker: 0,
+            after_batches: 5,
+        });
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn decisions_depend_on_seed_and_key() {
+        let mut f = RuntimeFaults::none();
+        f.drop_rate = 0.5;
+        let picks: Vec<bool> = (0..64).map(|s| f.drops_packet(0, s, false)).collect();
+        assert_eq!(
+            picks,
+            (0..64).map(|s| f.drops_packet(0, s, false)).collect::<Vec<_>>(),
+            "same seed, same picks"
+        );
+        assert!(picks.iter().any(|&b| b) && picks.iter().any(|&b| !b));
+        f.seed = 1;
+        assert_ne!(
+            picks,
+            (0..64).map(|s| f.drops_packet(0, s, false)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn drop_last_only_fires_on_closing_packets() {
+        let mut f = RuntimeFaults::none();
+        f.drop_last_rate = 1.0;
+        assert!(f.drops_packet(2, 9, true));
+        assert!(!f.drops_packet(2, 9, false));
+    }
+}

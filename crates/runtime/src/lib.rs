@@ -21,10 +21,14 @@
 //! assert_eq!(serial.digests, parallel.digests);
 //! ```
 
+pub mod faults;
 pub mod packet;
 pub mod pipeline;
 pub mod work;
 
+pub use faults::{RuntimeFaults, WorkerKill};
 pub use packet::{generate_frames, Frame};
-pub use pipeline::{process_parallel, process_serial, RunOutput, RuntimeConfig};
+pub use pipeline::{
+    process_parallel, process_parallel_faulty, process_serial, RunOutput, RuntimeConfig,
+};
 pub use work::{process_frame, PacketResult};

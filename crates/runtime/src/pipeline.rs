@@ -13,13 +13,39 @@
 //! the full per-packet work; the merger restores the original order with
 //! the merging-counter algorithm. Workers run genuinely concurrently, so
 //! the merger sees every interleaving a real kernel would.
+//!
+//! # Degradation under faults
+//!
+//! [`process_parallel_faulty`] runs the same pipeline with an injected
+//! [`RuntimeFaults`] mix and never panics or wedges:
+//!
+//! * **Worker death** — each send failure marks the lane dead; the batch
+//!   that bounced plus a retained window of recently-sent batches are
+//!   redispatched to surviving workers. Redispatched copies ride fresh
+//!   *recovery lanes* (`n_workers + k`) so the merger's per-lane FIFO
+//!   assumption is never violated; copies of already-merged batches are
+//!   rejected as duplicates.
+//! * **Loss** — a micro-flow that never completes stalls the merging
+//!   counter; the merger flushes past it after
+//!   [`RuntimeFaults::flush_timeout_ms`] without arrivals, and again at
+//!   end of stream, releasing every parked successor. Skipped IDs are
+//!   reported in [`RunOutput::flushed_mfs`].
+//! * **Duplication / late arrival** — rejected by the merge counter and
+//!   reported in [`RunOutput::merge_dup_drops`] /
+//!   [`RunOutput::merge_late_drops`].
+//!
+//! The output is always an ordered, duplicate-free subsequence of the
+//! serial output; what is missing is exactly accounted for by the
+//! dispatcher's planned drops plus the flushed micro-flows.
 
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
 use mflow::{MergeCounter, MfTag};
 
+use crate::faults::RuntimeFaults;
 use crate::packet::Frame;
 use crate::work::{process_frame, PacketResult};
 
@@ -55,61 +81,273 @@ pub struct RunOutput {
     /// Inversions observed at the merger input (before reassembly) — the
     /// runtime analogue of the paper's Figure 7 y-axis.
     pub ooo_at_merge: u64,
+    /// Micro-flow IDs the merger flushed past instead of waiting forever.
+    pub flushed_mfs: Vec<u64>,
+    /// Results the merger rejected for arriving after their micro-flow
+    /// was already passed.
+    pub merge_late_drops: u64,
+    /// Results the merger rejected as duplicate copies.
+    pub merge_dup_drops: u64,
+    /// Packets the fault injector deleted at dispatch.
+    pub fault_drops: u64,
+    /// Batches redispatched onto recovery lanes after a worker died.
+    pub redispatched: u64,
+    /// Worker threads that panicked during the run.
+    pub workers_died: usize,
+    /// Results still parked in the merger after the final flush (always 0
+    /// unless flushing was disabled).
+    pub merge_residue: usize,
+}
+
+impl RunOutput {
+    fn new(digests: Vec<PacketResult>, elapsed: Duration, ooo_at_merge: u64) -> Self {
+        Self {
+            digests,
+            elapsed,
+            ooo_at_merge,
+            flushed_mfs: Vec::new(),
+            merge_late_drops: 0,
+            merge_dup_drops: 0,
+            fault_drops: 0,
+            redispatched: 0,
+            workers_died: 0,
+            merge_residue: 0,
+        }
+    }
 }
 
 /// Baseline: one thread processes every frame in order.
 pub fn process_serial(frames: &[Frame]) -> RunOutput {
     let start = Instant::now();
     let digests = frames.iter().map(process_frame).collect();
-    RunOutput {
-        digests,
-        elapsed: start.elapsed(),
-        ooo_at_merge: 0,
+    RunOutput::new(digests, start.elapsed(), 0)
+}
+
+/// One micro-flow's tagged frames, as sent to a worker.
+type Batch = Vec<(MfTag, Frame)>;
+
+/// Dispatcher-side view of one worker queue.
+struct Lane {
+    tx: Option<SyncSender<Batch>>,
+    /// Copies of the most recently sent batches (faulty runs only): the
+    /// batches that may still sit unprocessed in the queue when the
+    /// worker dies, and must be redispatched. Capacity `queue_depth + 2`
+    /// covers the full queue, the batch in the worker's hands, and the
+    /// one that bounced.
+    recent: VecDeque<Batch>,
+}
+
+/// Everything the dispatcher tracks while the stream is in flight.
+struct Dispatcher {
+    lanes: Vec<Lane>,
+    retain: usize,
+    /// Next recovery lane ID (tag lanes above the worker count are unique
+    /// per redispatched batch).
+    recovery_lane: usize,
+    /// Physical worker round-robin cursor for recovery sends.
+    next_worker: usize,
+    redispatched: u64,
+}
+
+impl Dispatcher {
+    fn new(lanes: Vec<Lane>, faults: &RuntimeFaults, queue_depth: usize) -> Self {
+        let n = lanes.len();
+        Self {
+            lanes,
+            retain: if faults.is_active() { queue_depth + 2 } else { 0 },
+            recovery_lane: n,
+            next_worker: 0,
+            redispatched: 0,
+        }
+    }
+
+    /// Sends `batch` to worker `lane`, redispatching on failure. Pending
+    /// work is processed iteratively: a redispatch target may itself be
+    /// dead, bouncing the batch again.
+    fn send(&mut self, lane: usize, batch: Batch) {
+        let mut pending: Vec<(usize, Batch, bool)> = vec![(lane, batch, false)];
+        while let Some((lane, batch, is_recovery)) = pending.pop() {
+            let Some(tx) = &self.lanes[lane].tx else {
+                // Known-dead lane: reroute to a live worker directly.
+                if let Some(b) = self.reroute(batch, is_recovery) {
+                    pending.push(b);
+                }
+                continue;
+            };
+            match tx.send(batch) {
+                Ok(()) => {}
+                Err(mpsc::SendError(batch)) => {
+                    // The worker died: everything it still held is lost.
+                    // Redispatch its retained window plus this batch.
+                    self.lanes[lane].tx = None;
+                    let window = std::mem::take(&mut self.lanes[lane].recent);
+                    for lost in window.into_iter().chain(std::iter::once(batch)) {
+                        if let Some(b) = self.reroute(lost, is_recovery) {
+                            pending.push(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a batch, keeping a copy in the lane's retained window first
+    /// (faulty runs only).
+    fn send_retained(&mut self, lane: usize, batch: Batch) {
+        if self.retain > 0 && self.lanes[lane].tx.is_some() {
+            let recent = &mut self.lanes[lane].recent;
+            if recent.len() == self.retain {
+                recent.pop_front();
+            }
+            recent.push_back(batch.clone());
+        }
+        self.send(lane, batch);
+    }
+
+    /// Retags a lost batch onto a fresh recovery lane and targets the
+    /// next live worker. Returns `None` when no workers are left.
+    fn reroute(&mut self, batch: Batch, was_recovery: bool) -> Option<(usize, Batch, bool)> {
+        let target = self.pick_live_worker()?;
+        let batch = if was_recovery {
+            // Already on a unique recovery lane; keep its tags.
+            batch
+        } else {
+            self.retag(batch)
+        };
+        self.redispatched += 1;
+        Some((target, batch, true))
+    }
+
+    /// Clones a batch onto a fresh recovery lane.
+    fn retag(&mut self, batch: Batch) -> Batch {
+        let lane = self.recovery_lane;
+        self.recovery_lane += 1;
+        batch
+            .into_iter()
+            .map(|(tag, frame)| (MfTag { lane, ..tag }, frame))
+            .collect()
+    }
+
+    fn pick_live_worker(&mut self) -> Option<usize> {
+        let n = self.lanes.len();
+        for _ in 0..n {
+            let w = self.next_worker % n;
+            self.next_worker = (self.next_worker + 1) % n;
+            if self.lanes[w].tx.is_some() {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Sends a recovery-tagged copy of `batch` to the next live worker.
+    fn send_recovery(&mut self, batch: Batch) {
+        let retagged = self.retag(batch);
+        if let Some(target) = self.pick_live_worker() {
+            self.send(target, retagged);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        // Dropping the senders lets workers drain and exit.
+        self.redispatched
     }
 }
 
 /// MFLOW pipeline: split into micro-flows, process on `workers` threads,
-/// merge back in order.
+/// merge back in order. Equivalent to [`process_parallel_faulty`] with
+/// [`RuntimeFaults::none`].
 pub fn process_parallel(frames: &[Frame], cfg: &RuntimeConfig) -> RunOutput {
+    process_parallel_faulty(frames, cfg, &RuntimeFaults::none())
+}
+
+/// The pipeline under an injected fault mix. Guaranteed not to panic and
+/// not to wedge for any fault combination; see the module docs for the
+/// degradation contract.
+pub fn process_parallel_faulty(
+    frames: &[Frame],
+    cfg: &RuntimeConfig,
+    faults: &RuntimeFaults,
+) -> RunOutput {
     assert!(cfg.workers >= 1 && cfg.batch_size >= 1 && cfg.queue_depth >= 1);
     let start = Instant::now();
     let n_workers = cfg.workers;
+    let flush_timeout = if faults.is_active() {
+        faults.flush_timeout_ms.map(Duration::from_millis)
+    } else {
+        None
+    };
 
     // Dispatcher -> worker lanes (SPSC: one producer, one consumer each).
-    let mut lane_tx = Vec::with_capacity(n_workers);
+    let mut lanes = Vec::with_capacity(n_workers);
     let mut lane_rx = Vec::with_capacity(n_workers);
     for _ in 0..n_workers {
-        let (tx, rx) = channel::bounded::<Vec<(MfTag, Frame)>>(cfg.queue_depth);
-        lane_tx.push(tx);
+        let (tx, rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
+        lanes.push(Lane {
+            tx: Some(tx),
+            recent: VecDeque::new(),
+        });
         lane_rx.push(rx);
     }
     // Workers -> merger (MPSC).
-    let (merge_tx, merge_rx) = channel::bounded::<(MfTag, PacketResult)>(n_workers * 1024);
+    let (merge_tx, merge_rx) = mpsc::sync_channel::<(MfTag, PacketResult)>(n_workers * 1024);
 
-    let out = thread::scope(|s| {
+    let (out, fault_drops, redispatched, workers_died) = thread::scope(|s| {
         // Workers: the "splitting cores".
-        for (lane, rx) in lane_rx.into_iter().enumerate() {
+        let mut handles = Vec::with_capacity(n_workers);
+        for (worker, rx) in lane_rx.into_iter().enumerate() {
             let tx = merge_tx.clone();
-            s.spawn(move || {
-                let _ = lane;
-                for batch in rx {
+            handles.push(s.spawn(move || {
+                for (processed, batch) in rx.into_iter().enumerate() {
+                    let processed = processed as u64;
+                    if let Some(kill) = faults.kill {
+                        if kill.worker == worker && processed >= kill.after_batches {
+                            // The injected death: an abrupt panic that
+                            // drops the queue and the merger sender.
+                            panic!("injected worker death");
+                        }
+                    }
+                    if let Some((tag, _)) = batch.first() {
+                        if faults.stalls_on(tag.id) {
+                            thread::sleep(Duration::from_millis(faults.stall_ms));
+                        }
+                    }
                     for (tag, frame) in batch {
                         let result = process_frame(&frame);
-                        // A full merger queue only applies backpressure.
-                        tx.send((tag, result)).expect("merger alive");
+                        if tx.send((tag, result)).is_err() {
+                            // Merger gone; nothing useful left to do.
+                            return;
+                        }
                     }
                 }
-            });
+            }));
         }
         drop(merge_tx);
 
-        // Merger thread: merging-counter reassembly.
+        // Merger thread: merging-counter reassembly with flush recovery.
         let merger = s.spawn(move || {
             let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
             let mut out = Vec::new();
             let mut max_seen: Option<u64> = None;
             let mut ooo = 0u64;
-            for (tag, result) in merge_rx {
+            loop {
+                let (tag, result) = match flush_timeout {
+                    Some(t) => match merge_rx.recv_timeout(t) {
+                        Ok(msg) => msg,
+                        Err(RecvTimeoutError::Timeout) => {
+                            // No arrivals for a full deadline: stop
+                            // waiting for whatever the counter is stuck
+                            // on and release parked successors.
+                            mc.flush_one(&mut out);
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    },
+                    None => match merge_rx.recv() {
+                        Ok(msg) => msg,
+                        Err(_) => break,
+                    },
+                };
                 if let Some(m) = max_seen {
                     if result.seq < m {
                         ooo += 1;
@@ -118,48 +356,110 @@ pub fn process_parallel(frames: &[Frame], cfg: &RuntimeConfig) -> RunOutput {
                 max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
                 mc.offer(tag, result, &mut out);
             }
-            (out, mc.buffered(), ooo)
+            // End of stream: flush whatever loss left stuck so nothing
+            // stays parked forever.
+            if flush_timeout.is_some() || faults.is_active() {
+                mc.flush_stalled(&mut out);
+            }
+            let flushed: Vec<u64> = mc.flushed_ids().iter().copied().collect();
+            (out, mc.buffered(), ooo, flushed, mc.late_drops(), mc.dup_drops())
         });
 
         // Dispatcher: this thread plays the IRQ core's first half.
+        let mut d = Dispatcher::new(lanes, faults, cfg.queue_depth);
+        let mut fault_drops = 0u64;
         let mut mf_id = 0u64;
         let mut lane = 0usize;
-        let mut batch: Vec<(MfTag, Frame)> = Vec::with_capacity(cfg.batch_size);
+        let mut batch: Batch = Vec::with_capacity(cfg.batch_size);
+        let mut delayed: Vec<(u64, Batch)> = Vec::new();
         let n = frames.len();
         for (i, frame) in frames.iter().enumerate() {
             let last = batch.len() + 1 == cfg.batch_size || i + 1 == n;
-            batch.push((
-                MfTag {
-                    id: mf_id,
-                    lane,
-                    last,
-                },
-                frame.clone(),
-            ));
+            if faults.drops_packet(mf_id, frame.seq, last) {
+                fault_drops += 1;
+            } else {
+                batch.push((MfTag { id: mf_id, lane, last }, frame.clone()));
+            }
             if last {
-                lane_tx[lane].send(std::mem::take(&mut batch)).expect("worker alive");
+                let full = std::mem::take(&mut batch);
                 batch.reserve(cfg.batch_size);
+                if !full.is_empty() {
+                    if !faults.is_active() {
+                        d.send(lane, full);
+                    } else if faults.delays_mf(mf_id) {
+                        // Held back: will be redispatched on a recovery
+                        // lane `late_by` batches from now.
+                        delayed.push((mf_id + faults.late_by.max(1), full));
+                    } else {
+                        let dup = faults.duplicates_mf(mf_id);
+                        if dup {
+                            d.send_retained(lane, full.clone());
+                            d.send_recovery(full);
+                        } else {
+                            d.send_retained(lane, full);
+                        }
+                    }
+                }
+                let due: Vec<Batch> = {
+                    let mut rest = Vec::new();
+                    let mut ready = Vec::new();
+                    for (at, b) in delayed.drain(..) {
+                        if at <= mf_id {
+                            ready.push(b);
+                        } else {
+                            rest.push((at, b));
+                        }
+                    }
+                    delayed = rest;
+                    ready
+                };
+                for b in due {
+                    d.send_recovery(b);
+                }
                 mf_id += 1;
                 lane = (lane + 1) % n_workers;
             }
         }
-        drop(lane_tx);
+        // Anything still held back goes out now, late but present.
+        for (_, b) in delayed {
+            d.send_recovery(b);
+        }
+        let redispatched = d.finish();
 
-        let (digests, residue, ooo) = merger.join().expect("merger must not panic");
-        assert_eq!(residue, 0, "merger must drain completely");
-        (digests, ooo)
+        // Join workers first (they feed the merger); injected deaths
+        // surface here as panics and are counted, not propagated.
+        let workers_died = handles
+            .into_iter()
+            .filter_map(|h| h.join().err())
+            .count();
+        let merged = match merger.join() {
+            Ok(r) => r,
+            // The merger has no injected faults: a panic there is a real
+            // bug and must stay loud.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (merged, fault_drops, redispatched, workers_died)
     });
 
+    let (digests, residue, ooo, flushed_mfs, late_drops, dup_drops) = out;
     RunOutput {
-        digests: out.0,
+        digests,
         elapsed: start.elapsed(),
-        ooo_at_merge: out.1,
+        ooo_at_merge: ooo,
+        flushed_mfs,
+        merge_late_drops: late_drops,
+        merge_dup_drops: dup_drops,
+        fault_drops,
+        redispatched,
+        workers_died,
+        merge_residue: residue,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::WorkerKill;
     use crate::packet::generate_frames;
 
     fn run(n: usize, payload: usize, cfg: RuntimeConfig) {
@@ -282,6 +582,51 @@ mod tests {
                 );
                 assert_eq!(out.digests, reference.digests, "w={workers} b={batch}");
             }
+        }
+    }
+
+    #[test]
+    fn faultless_fault_path_is_exact() {
+        // The faulty entry point with an inert mix must behave like the
+        // plain pipeline: exact digests, no degradation counters.
+        let frames = generate_frames(1_500, 64);
+        let serial = process_serial(&frames);
+        let out = process_parallel_faulty(
+            &frames,
+            &RuntimeConfig::default(),
+            &RuntimeFaults::none(),
+        );
+        assert_eq!(out.digests, serial.digests);
+        assert!(out.flushed_mfs.is_empty());
+        assert_eq!(out.fault_drops, 0);
+        assert_eq!(out.workers_died, 0);
+        assert_eq!(out.merge_residue, 0);
+    }
+
+    #[test]
+    fn killed_worker_does_not_panic_or_wedge_the_run() {
+        let frames = generate_frames(4_000, 32);
+        let mut faults = RuntimeFaults::none();
+        faults.kill = Some(WorkerKill {
+            worker: 1,
+            after_batches: 3,
+        });
+        faults.flush_timeout_ms = Some(50);
+        let out = process_parallel_faulty(
+            &frames,
+            &RuntimeConfig {
+                workers: 3,
+                batch_size: 64,
+                queue_depth: 4,
+            },
+            &faults,
+        );
+        assert_eq!(out.workers_died, 1);
+        assert!(!out.digests.is_empty());
+        assert_eq!(out.merge_residue, 0, "end flush must empty the merger");
+        // Output must be a strictly ordered, duplicate-free subsequence.
+        for pair in out.digests.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
         }
     }
 }

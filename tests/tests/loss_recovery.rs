@@ -68,6 +68,62 @@ fn no_spurious_retransmits_without_drops() {
 }
 
 #[test]
+fn merge_path_microflow_loss_flushes_within_deadline_and_never_wedges() {
+    // Losing an entire micro-flow *after* the split — between the
+    // splitting cores and the merge point — is the failure the textbook
+    // merging counter cannot survive: the counter waits forever for an ID
+    // that will never arrive. The flush deadline must kick in, skip the
+    // dead micro-flow, and keep the (open-loop UDP) flow delivering.
+    let mut cfg = quick(StackConfig::single_flow(
+        PathKind::Overlay,
+        FlowSpec::udp(65536, 0),
+    ));
+    let mut faults = mflow_netstack::FaultConfig::none();
+    faults.kill_microflows = vec![(0, 10)];
+    cfg.faults = Some(faults);
+    // A deadline short enough to trip well inside the CI-length run.
+    let mut mcfg = MflowConfig::udp_device_scaling();
+    mcfg.flush_after_offers = Some(512);
+    let (policy, merge) = install(mcfg);
+    let r = StackSim::run(cfg, policy, Some(merge));
+    assert!(r.fault_drops > 0, "the targeted micro-flow must die");
+    assert!(
+        r.merge_flushed >= 1,
+        "merger must flush past the dead micro-flow within the deadline"
+    );
+    assert!(r.goodput_gbps > 1.0, "flow wedged: {:.3} Gbps", r.goodput_gbps);
+    // Parked skbs are bounded by the flush deadline (plus one in-flight
+    // batch), not by the run length.
+    assert!(r.merge_residue < 1600, "merger leak: {}", r.merge_residue);
+}
+
+#[test]
+fn random_closer_loss_at_the_merge_degrades_gracefully() {
+    // Randomly deleting batch-closing skbs — each one leaves a micro-flow
+    // permanently open — must produce a stream of flushes, not a wedge,
+    // and the accounting must see every injected drop.
+    let mut cfg = quick(StackConfig::single_flow(
+        PathKind::Overlay,
+        FlowSpec::udp(65536, 0),
+    ));
+    let mut faults = mflow_netstack::FaultConfig::none();
+    faults.seed = 11;
+    // Only ~47 micro-flows close inside a CI-length run; 20% makes the
+    // drop deterministic-in-practice while staying sparse.
+    faults.drop_rate = 0.2;
+    faults.drop_last_only = true;
+    cfg.faults = Some(faults);
+    let mut mcfg = MflowConfig::udp_device_scaling();
+    mcfg.flush_after_offers = Some(512);
+    let (policy, merge) = install(mcfg);
+    let r = StackSim::run(cfg, policy, Some(merge));
+    assert!(r.fault_drops > 0, "closer drops must fire at 20%");
+    assert!(r.merge_flushed >= 1, "open micro-flows must be flushed");
+    assert!(r.goodput_gbps > 1.0, "flow wedged: {:.3} Gbps", r.goodput_gbps);
+    assert!(r.merge_residue < 1600, "merger leak: {}", r.merge_residue);
+}
+
+#[test]
 fn slow_start_converges_to_the_same_throughput()
 {
     // Congestion control must not change the steady-state numbers the

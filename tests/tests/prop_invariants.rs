@@ -91,6 +91,117 @@ proptest! {
         let buffered = mc.drain_all();
         prop_assert_eq!(buffered.len() + out.len(), keep);
     }
+
+    #[test]
+    fn faulted_merge_output_is_an_ordered_dupfree_accounted_subsequence(
+        n in 10u64..2000,
+        batch in 1u64..128,
+        lanes in 1usize..5,
+        deadline in 1u64..64,
+        drop_millis in 0u64..300,
+        dup_millis in 0u64..300,
+        seed in any::<u64>(),
+    ) {
+        // Arbitrary loss + duplication against a flush-deadline merger:
+        // the output must stay strictly ordered and duplicate-free, and
+        // every missing item must be accounted for — either dropped at
+        // injection or a member of a flushed micro-flow.
+        let stream = lane_preserving_shuffle(tag(n, batch, lanes), lanes, seed);
+        // Duplicate some micro-flows wholesale on unique recovery lanes,
+        // appended behind the stream (the shape redispatch produces).
+        let mut dup_tail: Vec<(MfTag, u64)> = Vec::new();
+        let mut next_recovery = lanes;
+        let n_mfs = n.div_ceil(batch);
+        for id in 0..n_mfs {
+            if splitmix(seed ^ 0xD0B1, id) % 1000 < dup_millis {
+                let lane = next_recovery;
+                next_recovery += 1;
+                dup_tail.extend(
+                    stream
+                        .iter()
+                        .filter(|(t, _)| t.id == id)
+                        .map(|&(t, v)| (MfTag { lane, ..t }, v)),
+                );
+            }
+        }
+        let mut mc = MergeCounter::with_flush_deadline(deadline);
+        let mut out = Vec::new();
+        let mut dropped = std::collections::BTreeSet::new();
+        let mut offered = 0u64;
+        for (t, v) in stream.into_iter().chain(dup_tail) {
+            if splitmix(seed ^ 0xD709, v) % 1000 < drop_millis {
+                dropped.insert(v);
+                continue;
+            }
+            offered += 1;
+            mc.offer(t, v, &mut out);
+        }
+        mc.flush_stalled(&mut out);
+        // Flush releases every parked item: nothing stays buffered.
+        prop_assert_eq!(mc.buffered(), 0);
+        // Full accounting: every offer was released, rejected late, or
+        // rejected duplicate.
+        prop_assert_eq!(
+            out.len() as u64 + mc.late_drops() + mc.dup_drops(),
+            offered
+        );
+        // Ordered and duplicate-free.
+        for pair in out.windows(2) {
+            prop_assert!(pair[0] < pair[1], "inversion or duplicate: {:?}", pair);
+        }
+        // Every missing item is accounted for.
+        let present: std::collections::BTreeSet<u64> = out.iter().copied().collect();
+        for v in 0..n {
+            if !present.contains(&v) {
+                let mf = v / batch;
+                prop_assert!(
+                    dropped.contains(&v) || mc.flushed_ids().contains(&mf),
+                    "item {v} vanished without being dropped or flushed (mf {mf})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flush_stalled_releases_every_parked_item_for_any_prefix(
+        n in 10u64..1500,
+        batch in 2u64..128,
+        lanes in 2usize..5,
+        keep_frac in 0.1f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // Cut the stream at an arbitrary point (a crashed run): the
+        // end-of-stream flush must release every parked item, in order,
+        // with the skipped micro-flows reported.
+        let full = lane_preserving_shuffle(tag(n, batch, lanes), lanes, seed);
+        let keep = (((full.len() as f64) * keep_frac) as usize).max(1);
+        let mut mc = MergeCounter::new();
+        let mut out = Vec::new();
+        for (t, v) in full.into_iter().take(keep) {
+            mc.offer(t, v, &mut out);
+        }
+        let parked = mc.buffered();
+        mc.flush_stalled(&mut out);
+        prop_assert_eq!(mc.buffered(), 0, "flush left items parked");
+        prop_assert_eq!(out.len(), keep, "offered {} released {}", keep, out.len());
+        for pair in out.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        // If anything was parked, the flush must have skipped some ID.
+        if parked > 0 {
+            prop_assert!(mc.flushed() > 0);
+        }
+    }
+}
+
+/// SplitMix64 over one key (deterministic, order-independent draws).
+fn splitmix(seed: u64, k: u64) -> u64 {
+    let mut x = seed
+        .wrapping_add(k)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 mod sim_conservation {

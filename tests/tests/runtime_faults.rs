@@ -1,0 +1,231 @@
+//! Seed-driven stress tests for the threaded pipeline under injected
+//! faults: packet loss (including targeted loss of batch-closing
+//! packets), duplicated and late micro-flows, worker stalls and a mid-run
+//! worker death.
+//!
+//! The degradation contract under test: every run terminates without
+//! panicking or wedging, the output is a strictly ordered duplicate-free
+//! subsequence of the serial output, and every missing packet is
+//! attributable — it was deleted by the (replayable) dispatch-time fault
+//! plan, belongs to a micro-flow the merger reports having flushed, or
+//! sits in the bounded in-flight window a dead worker can take with it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mflow_runtime::{
+    generate_frames, process_parallel_faulty, process_serial, Frame, RuntimeConfig, RuntimeFaults,
+    WorkerKill,
+};
+
+/// Replays the dispatcher's batching walk to predict, from the seed
+/// alone, which packets the fault plan deletes at dispatch and which
+/// micro-flow every surviving packet is tagged into. Must mirror the
+/// dispatcher exactly: drops shift batch boundaries because batches close
+/// on *retained* length.
+fn replay_dispatch(
+    n: usize,
+    batch_size: usize,
+    faults: &RuntimeFaults,
+) -> (BTreeSet<u64>, BTreeMap<u64, u64>) {
+    let mut dropped = BTreeSet::new();
+    let mut mf_of = BTreeMap::new();
+    let mut mf_id = 0u64;
+    let mut len = 0usize;
+    for i in 0..n {
+        let seq = i as u64;
+        let last = len + 1 == batch_size || i + 1 == n;
+        if faults.drops_packet(mf_id, seq, last) {
+            dropped.insert(seq);
+        } else {
+            len += 1;
+            mf_of.insert(seq, mf_id);
+        }
+        if last {
+            mf_id += 1;
+            len = 0;
+        }
+    }
+    (dropped, mf_of)
+}
+
+/// Runs the faulty pipeline and checks the full degradation contract
+/// against the serial reference. Returns the run output for extra,
+/// scenario-specific assertions.
+fn check_degraded(
+    frames: &[Frame],
+    cfg: &RuntimeConfig,
+    faults: &RuntimeFaults,
+) -> mflow_runtime::RunOutput {
+    let serial = process_serial(frames);
+    let reference: BTreeMap<u64, u64> = serial.digests.iter().map(|r| (r.seq, r.digest)).collect();
+    let (dropped, mf_of) = replay_dispatch(frames.len(), cfg.batch_size, faults);
+
+    let out = process_parallel_faulty(frames, cfg, faults);
+
+    // Strictly ordered and duplicate-free, every digest correct.
+    for pair in out.digests.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "inversion or duplicate at seq {} -> {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+    for r in &out.digests {
+        assert_eq!(
+            reference.get(&r.seq),
+            Some(&r.digest),
+            "digest mismatch at seq {}",
+            r.seq
+        );
+    }
+    assert_eq!(out.merge_residue, 0, "items left parked in the merger");
+
+    // Every missing packet is attributable: planned drop, flushed
+    // micro-flow, or (for a killed worker) a batch inside the bounded
+    // in-flight window that died with the worker and was never seen by
+    // the merger.
+    let present: BTreeSet<u64> = out.digests.iter().map(|r| r.seq).collect();
+    let flushed: BTreeSet<u64> = out.flushed_mfs.iter().copied().collect();
+    let mut unattributed_mfs = BTreeSet::new();
+    for seq in 0..frames.len() as u64 {
+        if present.contains(&seq) || dropped.contains(&seq) {
+            continue;
+        }
+        let mf = *mf_of.get(&seq).expect("surviving packet must have a tag");
+        if !flushed.contains(&mf) {
+            unattributed_mfs.insert(mf);
+        }
+    }
+    let window = if out.workers_died > 0 {
+        (cfg.queue_depth + 2) * out.workers_died
+    } else {
+        0
+    };
+    assert!(
+        unattributed_mfs.len() <= window,
+        "{} micro-flows lost without attribution ({}-batch death window): {:?}",
+        unattributed_mfs.len(),
+        window,
+        unattributed_mfs
+    );
+    out
+}
+
+#[test]
+fn stress_matrix_survives_loss_dups_lates_stalls_and_a_killed_worker() {
+    let frames = generate_frames(2000, 64);
+    let matrix = [(2usize, 8usize, 2usize), (3, 16, 4), (4, 32, 2), (2, 64, 8)];
+    for (i, &(workers, batch_size, queue_depth)) in matrix.iter().enumerate() {
+        let cfg = RuntimeConfig {
+            workers,
+            batch_size,
+            queue_depth,
+        };
+        let faults = RuntimeFaults {
+            seed: 0xBEEF ^ i as u64,
+            drop_rate: 0.01,
+            drop_last_rate: 0.05,
+            dup_mf_rate: 0.08,
+            late_mf_rate: 0.08,
+            late_by: 3,
+            stall_rate: 0.1,
+            stall_ms: 1,
+            kill: Some(WorkerKill {
+                worker: 0,
+                after_batches: 4,
+            }),
+            flush_timeout_ms: Some(40),
+        };
+        let out = check_degraded(&frames, &cfg, &faults);
+        assert!(
+            out.workers_died <= 1,
+            "config {:?}: only one worker was told to die",
+            (workers, batch_size, queue_depth)
+        );
+        assert!(
+            !out.digests.is_empty(),
+            "config {:?}: run delivered nothing",
+            (workers, batch_size, queue_depth)
+        );
+    }
+}
+
+#[test]
+fn killed_worker_is_reported_and_its_queue_redispatched() {
+    let frames = generate_frames(1200, 64);
+    let cfg = RuntimeConfig {
+        workers: 2,
+        batch_size: 16,
+        queue_depth: 2,
+    };
+    let mut faults = RuntimeFaults::none();
+    faults.kill = Some(WorkerKill {
+        worker: 1,
+        after_batches: 3,
+    });
+    faults.flush_timeout_ms = Some(40);
+    let out = check_degraded(&frames, &cfg, &faults);
+    // With ~37 batches headed at the doomed lane the kill always fires,
+    // and the dispatcher always hits the dead channel afterwards.
+    assert_eq!(out.workers_died, 1);
+    assert!(out.redispatched >= 1, "death must trigger redispatch");
+}
+
+#[test]
+fn losing_every_batch_closer_flushes_every_microflow_exactly() {
+    // drop_last_rate = 1.0 deletes precisely the packets the merging
+    // counter cannot advance without: no micro-flow ever closes, and the
+    // end-of-stream flush must release everything else, in order.
+    let frames = generate_frames(640, 64);
+    let cfg = RuntimeConfig {
+        workers: 3,
+        batch_size: 8,
+        queue_depth: 4,
+    };
+    let mut faults = RuntimeFaults::none();
+    faults.drop_last_rate = 1.0;
+    // Long deadline: recovery comes from the end-of-stream flush alone,
+    // keeping the run fully deterministic.
+    faults.flush_timeout_ms = Some(2000);
+    let (dropped, mf_of) = replay_dispatch(frames.len(), cfg.batch_size, &faults);
+    let out = check_degraded(&frames, &cfg, &faults);
+
+    // Exactly the batch closers were deleted, nothing else went missing.
+    let expected: Vec<u64> = (0..frames.len() as u64)
+        .filter(|s| !dropped.contains(s))
+        .collect();
+    let got: Vec<u64> = out.digests.iter().map(|r| r.seq).collect();
+    assert_eq!(got, expected);
+    assert_eq!(out.fault_drops, dropped.len() as u64);
+
+    // Every dispatched micro-flow was force-flushed and reported.
+    let n_mfs = mf_of.values().copied().collect::<BTreeSet<_>>().len();
+    assert_eq!(out.flushed_mfs.len(), n_mfs);
+    assert_eq!(out.workers_died, 0);
+}
+
+#[test]
+fn duplicated_microflows_are_rejected_and_output_is_exact() {
+    // Every micro-flow dispatched twice: whichever copy arrives first
+    // wins, the other is rejected packet-for-packet, and the output is
+    // bit-identical to the serial run.
+    let frames = generate_frames(800, 64);
+    let cfg = RuntimeConfig {
+        workers: 3,
+        batch_size: 10,
+        queue_depth: 4,
+    };
+    let mut faults = RuntimeFaults::none();
+    faults.dup_mf_rate = 1.0;
+    faults.flush_timeout_ms = Some(2000);
+    let serial = process_serial(&frames);
+    let out = check_degraded(&frames, &cfg, &faults);
+    assert_eq!(out.digests, serial.digests);
+    assert_eq!(
+        out.merge_dup_drops + out.merge_late_drops,
+        frames.len() as u64,
+        "each packet's second copy must be rejected exactly once"
+    );
+    assert!(out.flushed_mfs.is_empty(), "no loss, nothing to flush");
+}
