@@ -24,8 +24,9 @@ fn bench_workers(c: &mut Criterion) {
                     workers,
                     batch_size: 256,
                     queue_depth: 8,
+                    ..RuntimeConfig::default()
                 };
-                b.iter(|| process_parallel(&frames, &cfg).digests.len())
+                b.iter(|| process_parallel(&frames, &cfg).unwrap().digests.len())
             },
         );
     }
@@ -44,8 +45,9 @@ fn bench_batch_size(c: &mut Criterion) {
                 workers: 2,
                 batch_size: batch,
                 queue_depth: 16,
+                ..RuntimeConfig::default()
             };
-            b.iter(|| process_parallel(&frames, &cfg).digests.len())
+            b.iter(|| process_parallel(&frames, &cfg).unwrap().digests.len())
         });
     }
     group.finish();

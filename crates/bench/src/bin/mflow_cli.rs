@@ -8,9 +8,13 @@
 //!     [--flows N] [--batch 256] [--seed 42] [--no-noise] [--cpu]
 //! ```
 
-use mflow::{install, MflowConfig};
+use mflow::MflowConfig;
 use mflow_netstack::{
     FaultConfig, FlowSpec, NoiseConfig, StackConfig, StackSim, Transport,
+};
+use mflow_runtime::{
+    generate_frames, process_parallel_faulty, BackpressurePolicy, LaneStall, RuntimeConfig,
+    RuntimeFaults, SlowWorker,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -28,6 +32,20 @@ struct Args {
     cpu: bool,
     faults: FaultConfig,
     flush_after: Option<u64>,
+    // Simulator de-split feedback (lane-occupancy watermarks).
+    lane_high_watermark: Option<u64>,
+    lane_low_watermark: Option<u64>,
+    overload_windows: Option<u32>,
+    // Threaded-runtime mode.
+    runtime: bool,
+    workers: usize,
+    queue_depth: usize,
+    frames: usize,
+    backpressure: BackpressurePolicy,
+    drop_budget: u64,
+    inline_fallback: bool,
+    high_watermark: Option<usize>,
+    rt_faults: RuntimeFaults,
 }
 
 fn usage() -> ! {
@@ -37,7 +55,14 @@ fn usage() -> ! {
          \x20                [--flows N] [--batch PKTS] [--seed N] [--no-noise] [--cpu]\n\
          \x20                [--fault-seed N] [--fault-drop RATE] [--fault-drop-last]\n\
          \x20                [--fault-dup RATE] [--fault-delay RATE]\n\
-         \x20                [--fault-kill-mf FLOW:MF] [--flush-after OFFERS]"
+         \x20                [--fault-kill-mf FLOW:MF] [--flush-after OFFERS]\n\
+         \x20                [--lane-high-watermark SEGS] [--lane-low-watermark SEGS]\n\
+         \x20                [--overload-windows N]\n\
+         \x20  runtime mode: --runtime [--workers N] [--queue-depth N] [--frames N]\n\
+         \x20                [--backpressure block|drop-tail|inline] [--drop-budget PKTS]\n\
+         \x20                [--inline-fallback] [--high-watermark DEPTH]\n\
+         \x20                [--fault-lane-stall WORKER:MS] [--fault-slow-worker WORKER:US]\n\
+         \x20                [--flush-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -55,6 +80,18 @@ fn parse_args() -> Args {
         cpu: false,
         faults: FaultConfig::none(),
         flush_after: None,
+        lane_high_watermark: None,
+        lane_low_watermark: None,
+        overload_windows: None,
+        runtime: false,
+        workers: 4,
+        queue_depth: 8,
+        frames: 50_000,
+        backpressure: BackpressurePolicy::Block,
+        drop_budget: 0,
+        inline_fallback: false,
+        high_watermark: None,
+        rt_faults: RuntimeFaults::none(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -121,6 +158,59 @@ fn parse_args() -> Args {
                     mf.parse().unwrap_or_else(|_| usage()),
                 ));
             }
+            "--lane-high-watermark" => {
+                args.lane_high_watermark = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--lane-low-watermark" => {
+                args.lane_low_watermark = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--overload-windows" => {
+                args.overload_windows = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--runtime" => args.runtime = true,
+            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => {
+                args.queue_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--frames" => args.frames = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--backpressure" => {
+                args.backpressure = match value(&mut i).as_str() {
+                    "block" => BackpressurePolicy::Block,
+                    "drop-tail" => BackpressurePolicy::DropTail { budget: 0 },
+                    "inline" => BackpressurePolicy::Inline,
+                    other => {
+                        eprintln!("unknown backpressure policy '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--drop-budget" => {
+                args.drop_budget = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--inline-fallback" => args.inline_fallback = true,
+            "--high-watermark" => {
+                args.high_watermark = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--fault-lane-stall" => {
+                let v = value(&mut i);
+                let (w, ms) = v.split_once(':').unwrap_or_else(|| usage());
+                args.rt_faults.lane_stall = Some(LaneStall {
+                    worker: w.parse().unwrap_or_else(|_| usage()),
+                    ms: ms.parse().unwrap_or_else(|_| usage()),
+                });
+            }
+            "--fault-slow-worker" => {
+                let v = value(&mut i);
+                let (w, us) = v.split_once(':').unwrap_or_else(|| usage());
+                args.rt_faults.slow_worker = Some(SlowWorker {
+                    worker: w.parse().unwrap_or_else(|_| usage()),
+                    per_batch_us: us.parse().unwrap_or_else(|_| usage()),
+                });
+            }
+            "--flush-timeout-ms" => {
+                args.rt_faults.flush_timeout_ms =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -132,8 +222,73 @@ fn parse_args() -> Args {
     args
 }
 
+/// Runs the byte-level threaded pipeline (`--runtime`) and prints its
+/// delivery/overload accounting instead of the simulator report.
+fn run_runtime(a: &Args) {
+    let policy = match a.backpressure {
+        BackpressurePolicy::DropTail { .. } => BackpressurePolicy::DropTail {
+            budget: a.drop_budget,
+        },
+        p => p,
+    };
+    let cfg = RuntimeConfig {
+        workers: a.workers,
+        batch_size: a.batch as usize,
+        queue_depth: a.queue_depth,
+        backpressure: policy,
+        high_watermark: a.high_watermark,
+        inline_fallback: a.inline_fallback,
+    };
+    let frames = generate_frames(a.frames, 1400);
+    let out = match process_parallel_faulty(&frames, &cfg, &a.rt_faults) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("runtime config rejected: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let secs = out.elapsed.as_secs_f64();
+    println!(
+        "runtime: {} workers x {} batch (depth {}, policy {:?}) — {:.2} Gbps over {} frames in {:.1} ms",
+        a.workers,
+        a.batch,
+        a.queue_depth,
+        policy,
+        bytes as f64 * 8.0 / secs / 1e9,
+        a.frames,
+        secs * 1e3,
+    );
+    println!(
+        "delivery: {} delivered, {} shed, {} flushed micro-flows, {} merge residue",
+        out.digests.len(),
+        out.shed_packets,
+        out.flushed_mfs.len(),
+        out.merge_residue
+    );
+    println!(
+        "overload: {} backpressure events, {} inline batches ({} packets), {} block fallbacks",
+        out.backpressure_events, out.inline_batches, out.inline_packets, out.block_fallbacks
+    );
+    if !out.sheds.is_empty() {
+        let mut per_lane = std::collections::BTreeMap::new();
+        for &(_, lane) in &out.sheds {
+            *per_lane.entry(lane).or_insert(0u64) += 1;
+        }
+        println!("sheds by lane: {per_lane:?}");
+    }
+    println!(
+        "ordering: {} raced at merge; faults: {} drops, {} redispatched, {} workers died",
+        out.ooo_at_merge, out.fault_drops, out.redispatched, out.workers_died
+    );
+}
+
 fn main() {
     let a = parse_args();
+    if a.runtime {
+        run_runtime(&a);
+        return;
+    }
     let flow = match a.transport {
         Transport::Tcp => FlowSpec::tcp(a.msg, 0),
         Transport::Udp => FlowSpec::udp(a.msg, 0),
@@ -166,13 +321,31 @@ fn main() {
         if a.flush_after.is_some() {
             mcfg.flush_after_offers = a.flush_after;
         }
-        let (p, m) = install(mcfg);
-        (p, Some(m))
+        if let Some(hi) = a.lane_high_watermark {
+            mcfg.elephant.lane_high_watermark_segs = hi;
+            mcfg.elephant.lane_low_watermark_segs = a.lane_low_watermark.unwrap_or(hi / 2);
+        }
+        if let Some(w) = a.overload_windows {
+            mcfg.elephant.overload_windows = w;
+        }
+        match mflow::try_install(mcfg) {
+            Ok((p, m)) => (p, Some(m)),
+            Err(e) => {
+                eprintln!("mflow config rejected: {e}");
+                std::process::exit(2);
+            }
+        }
     } else {
         a.system.build_single_flow(a.transport)
     };
 
-    let r = StackSim::run(cfg, policy, merge);
+    let r = match StackSim::try_run(cfg, policy, merge) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stack config rejected: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("{}", r.summary());
     println!(
         "delivered {:.1} MB in {} messages over {:.0} ms ({} events simulated)",
@@ -185,6 +358,12 @@ fn main() {
         "ordering: {} raced at merge, {} tcp ooo inserts, {} merge residue",
         r.ooo_merge_input, r.tcp_ooo_inserts, r.merge_residue
     );
+    if r.desplits > 0 || r.resplits > 0 {
+        println!(
+            "overload: {} flows de-split under lane pressure, {} re-promoted",
+            r.desplits, r.resplits
+        );
+    }
     if faults_on {
         println!(
             "faults: injected {} drops, {} dups, {} late skbs",

@@ -1,5 +1,6 @@
 //! MFLOW configuration: batch size, splitting cores and scaling mode.
 
+use mflow_error::MflowError;
 use mflow_netstack::Stage;
 use mflow_sim::CoreId;
 
@@ -106,12 +107,23 @@ impl MflowConfig {
 
     /// A multi-flow configuration over a kernel core pool: per-flow
     /// dispatch core chosen by hash, each flow split across `lanes`
-    /// neighbouring cores, no dedicated branch tails.
+    /// neighbouring cores, no dedicated branch tails. Panics on an invalid
+    /// pool; prefer [`MflowConfig::try_multi_flow`] in fallible contexts.
     pub fn multi_flow(kernel_cores: Vec<CoreId>, lanes: usize, merge_core: CoreId) -> Self {
-        assert!(lanes >= 1 && kernel_cores.len() > lanes);
-        Self {
+        Self::try_multi_flow(kernel_cores, lanes, merge_core).expect("invalid MflowConfig")
+    }
+
+    /// Fallible [`MflowConfig::multi_flow`]: rejects an empty pool, zero
+    /// lanes, or a pool too small to give every flow a dispatch core plus
+    /// `lanes` distinct splitting cores.
+    pub fn try_multi_flow(
+        kernel_cores: Vec<CoreId>,
+        lanes: usize,
+        merge_core: CoreId,
+    ) -> Result<Self, MflowError> {
+        let cfg = Self {
             batch_size: 256,
-            dispatch_core: kernel_cores[0],
+            dispatch_core: kernel_cores.first().copied().unwrap_or(0),
             split_cores: kernel_cores,
             branch_tails: None,
             merge_core,
@@ -122,7 +134,38 @@ impl MflowConfig {
             merge_cost_per_batch_ns: 150,
             flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the structural invariants of the configuration. Called by
+    /// [`crate::try_install`] so a malformed config is reported instead of
+    /// panicking deep inside the splitter.
+    pub fn validate(&self) -> Result<(), MflowError> {
+        if self.batch_size == 0 {
+            return Err(MflowError::invalid("batch_size", "must be at least 1"));
         }
+        if self.split_cores.is_empty() {
+            return Err(MflowError::invalid("split_cores", "must not be empty"));
+        }
+        if self.lanes_per_flow == 0 {
+            return Err(MflowError::invalid("lanes_per_flow", "must be at least 1"));
+        }
+        if self.spread_flows && self.split_cores.len() <= self.lanes_per_flow {
+            return Err(MflowError::invalid(
+                "split_cores",
+                "spread_flows needs a pool larger than lanes_per_flow \
+                 (one dispatch core plus lanes_per_flow distinct lanes)",
+            ));
+        }
+        if self.flush_after_offers == Some(0) {
+            return Err(MflowError::invalid(
+                "flush_after_offers",
+                "flush deadline of 0 offers would flush on every offer; use None to disable",
+            ));
+        }
+        self.elephant.validate()
     }
 
     /// Stage whose input is order-restored by the merger.
@@ -163,5 +206,46 @@ mod tests {
         let c = MflowConfig::udp_device_scaling();
         assert_eq!(c.split_into(), Stage::OuterIp);
         assert_eq!(c.merge_before(), Stage::UserCopy);
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        MflowConfig::tcp_full_path().validate().unwrap();
+        MflowConfig::udp_device_scaling().validate().unwrap();
+        MflowConfig::multi_flow(vec![1, 2, 3], 2, 0).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_name_the_offending_field() {
+        let mut c = MflowConfig::tcp_full_path();
+        c.batch_size = 0;
+        assert_eq!(c.validate().unwrap_err().field(), Some("batch_size"));
+
+        let mut c = MflowConfig::tcp_full_path();
+        c.split_cores.clear();
+        assert_eq!(c.validate().unwrap_err().field(), Some("split_cores"));
+
+        let mut c = MflowConfig::tcp_full_path();
+        c.lanes_per_flow = 0;
+        assert_eq!(c.validate().unwrap_err().field(), Some("lanes_per_flow"));
+
+        let mut c = MflowConfig::tcp_full_path();
+        c.flush_after_offers = Some(0);
+        assert_eq!(c.validate().unwrap_err().field(), Some("flush_after_offers"));
+
+        let mut c = MflowConfig::tcp_full_path();
+        c.elephant.window_ns = 0;
+        assert_eq!(c.validate().unwrap_err().field(), Some("window_ns"));
+    }
+
+    #[test]
+    fn undersized_multi_flow_pool_rejected() {
+        // Pool of 2 with 2 lanes leaves no dispatch core.
+        let err = MflowConfig::try_multi_flow(vec![1, 2], 2, 0).unwrap_err();
+        assert_eq!(err.field(), Some("split_cores"));
+        let err = MflowConfig::try_multi_flow(vec![], 1, 0).unwrap_err();
+        assert_eq!(err.field(), Some("split_cores"));
+        let err = MflowConfig::try_multi_flow(vec![1, 2], 0, 0).unwrap_err();
+        assert_eq!(err.field(), Some("lanes_per_flow"));
     }
 }

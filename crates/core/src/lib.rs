@@ -36,16 +36,26 @@ pub mod splitter;
 
 pub use config::{MflowConfig, ScalingMode};
 pub use elephant::{ElephantConfig, ElephantDetector};
+pub use mflow_error::MflowError;
 pub use reassembly::{BatchMerger, MergeCounter, MfTag, Offer};
 pub use splitter::MflowSteering;
 
 use mflow_netstack::{MergeSetup, PacketSteering};
 
-/// Builds the steering policy and merge hook for a configuration.
+/// Builds the steering policy and merge hook for a configuration,
+/// panicking on an invalid one. Prefer [`try_install`] in fallible
+/// contexts.
 pub fn install(cfg: MflowConfig) -> (Box<dyn PacketSteering>, MergeSetup) {
+    try_install(cfg).expect("invalid MflowConfig")
+}
+
+/// Builds the steering policy and merge hook for a configuration,
+/// rejecting one that violates [`MflowConfig::validate`].
+pub fn try_install(cfg: MflowConfig) -> Result<(Box<dyn PacketSteering>, MergeSetup), MflowError> {
     let merge_before = cfg.merge_before();
-    (
-        Box::new(MflowSteering::new(cfg.clone())),
+    let steering = MflowSteering::try_new(cfg.clone())?;
+    Ok((
+        Box::new(steering),
         MergeSetup {
             before: merge_before,
             merger: Box::new(
@@ -53,5 +63,5 @@ pub fn install(cfg: MflowConfig) -> (Box<dyn PacketSteering>, MergeSetup) {
                     .with_flush_deadline(cfg.flush_after_offers),
             ),
         },
-    )
+    ))
 }

@@ -21,6 +21,12 @@ struct FlowSplit {
     segs_in_batch: u32,
     lane_idx: usize,
     lanes: Vec<CoreId>,
+    /// Whether the flow is currently being split. A flow demoted by lane
+    /// pressure (or by rate) keeps its entry so micro-flow numbering and
+    /// lane assignment survive a later re-promotion; transitions apply
+    /// only at micro-flow boundaries so the merger never sees a half-open
+    /// micro-flow.
+    active: bool,
 }
 
 /// Running count of flows currently assigned to each splitting core, the
@@ -66,19 +72,27 @@ pub struct MflowSteering {
 }
 
 impl MflowSteering {
-    /// Creates the policy for a configuration.
+    /// Creates the policy for a configuration, panicking on an invalid
+    /// one. Prefer [`MflowSteering::try_new`] in fallible contexts.
     pub fn new(cfg: MflowConfig) -> Self {
+        Self::try_new(cfg).expect("invalid MflowConfig")
+    }
+
+    /// Creates the policy, rejecting configurations that violate
+    /// [`MflowConfig::validate`].
+    pub fn try_new(cfg: MflowConfig) -> Result<Self, mflow_error::MflowError> {
+        cfg.validate()?;
         let split_into = cfg.split_into();
-        let cfg2 = cfg.elephant;
-        Self {
+        let detector = crate::elephant::ElephantDetector::try_new(cfg.elephant)?;
+        Ok(Self {
             cfg,
             split_into,
             flows: BTreeMap::new(),
             assignments: BTreeMap::new(),
             load: BTreeMap::new(),
             occupancy: LaneOccupancy::default(),
-            detector: crate::elephant::ElephantDetector::new(cfg2),
-        }
+            detector,
+        })
     }
 
     fn pool(&self) -> &[CoreId] {
@@ -151,8 +165,10 @@ impl MflowSteering {
                 segs_in_batch: 0,
                 lane_idx: 0,
                 lanes,
+                active: true,
             }
         });
+        st.active = true;
         let lane_core = st.lanes[st.lane_idx];
         let mut tag = MicroflowTag {
             id: st.mf_id,
@@ -188,6 +204,62 @@ impl MflowSteering {
         skb.mf = Some(tag);
         lane_core
     }
+
+    /// Routes one skb at the split point: elephant classification by rate,
+    /// lane-pressure feedback (adaptive de-splitting), and split-state
+    /// transitions applied only at micro-flow boundaries.
+    fn route_one(
+        &mut self,
+        skb: &mut Skb,
+        now: mflow_sim::Time,
+        cur: CoreId,
+        loads: LoadView<'_>,
+    ) -> CoreId {
+        // Only identified elephant flows are split (§III-A); mice continue
+        // on the current core untagged.
+        let is_elephant = self.detector.observe(skb.flow, skb.segs as u64, now);
+        if !is_elephant && !self.flows.contains_key(&skb.flow) {
+            return cur;
+        }
+        // Feed the deepest backlog among the flow's lanes into the
+        // detector: sustained occupancy above the high watermark demotes
+        // the flow to unsplit processing (splitting into saturated lanes
+        // only adds steering and reorder cost), clearing below the low
+        // watermark re-promotes it.
+        let deepest = match self.flows.get(&skb.flow) {
+            Some(st) => st.lanes.iter().map(|&c| loads.backlog_segs(c)).max(),
+            None => {
+                let lanes = self.flow_lanes(skb.hash);
+                lanes.iter().map(|&c| loads.backlog_segs(c)).max()
+            }
+        }
+        .unwrap_or(0);
+        let overloaded = self.detector.lane_pressure(skb.flow, deepest);
+        let want_split = is_elephant && !overloaded;
+        // A demotion requested mid-micro-flow applies only once the open
+        // micro-flow closes, so every started batch reaches the merger
+        // complete and the counter never wedges on a half batch.
+        let mid_batch = self
+            .flows
+            .get(&skb.flow)
+            .is_some_and(|st| st.active && st.segs_in_batch > 0);
+        if want_split || mid_batch {
+            let lane = self.split_one(skb, loads);
+            if !want_split {
+                if let Some(st) = self.flows.get_mut(&skb.flow) {
+                    if st.segs_in_batch == 0 {
+                        st.active = false; // boundary reached: demote now
+                    }
+                }
+            }
+            lane
+        } else {
+            if let Some(st) = self.flows.get_mut(&skb.flow) {
+                st.active = false;
+            }
+            cur
+        }
+    }
 }
 
 impl PacketSteering for MflowSteering {
@@ -215,13 +287,7 @@ impl PacketSteering for MflowSteering {
         if to == self.split_into {
             let mut out: Vec<(CoreId, Vec<Skb>)> = Vec::new();
             for mut skb in batch {
-                // Only identified elephant flows are split (§III-A); mice
-                // continue on the current core untagged.
-                let target = if self.detector.observe(skb.flow, skb.segs as u64, now) {
-                    self.split_one(&mut skb, loads)
-                } else {
-                    cur
-                };
+                let target = self.route_one(&mut skb, now, cur, loads);
                 match out.last_mut() {
                     Some((c, v)) if *c == target => v.push(skb),
                     _ => out.push((target, vec![skb])),
@@ -275,6 +341,10 @@ impl PacketSteering for MflowSteering {
 
     fn dispatch_tag(&self) -> &'static str {
         "mflow.dispatch"
+    }
+
+    fn desplit_stats(&self) -> (u64, u64) {
+        (self.detector.desplits(), self.detector.resplits())
     }
 }
 
@@ -375,6 +445,47 @@ mod tests {
         let p = MflowSteering::new(MflowConfig::tcp_full_path());
         assert!(p.dispatch_cost_ns(Stage::DriverPoll, Stage::SkbAlloc, 64) > 0);
         assert_eq!(p.dispatch_cost_ns(Stage::Gro, Stage::OuterIp, 64), 0);
+    }
+
+    #[test]
+    fn pressure_demotes_only_at_microflow_boundary() {
+        use crate::elephant::ElephantConfig;
+        let mut cfg = MflowConfig::tcp_full_path();
+        cfg.batch_size = 4;
+        cfg.elephant = ElephantConfig {
+            lane_high_watermark_segs: 10,
+            lane_low_watermark_segs: 2,
+            overload_windows: 2,
+            ..ElephantConfig::always()
+        };
+        let mut p = MflowSteering::new(cfg);
+        // Saturated lanes: backlog far above the high watermark on the
+        // split cores 2 and 3.
+        let mut hot = no_load();
+        hot[2] = 100;
+        hot[3] = 100;
+        // Six packets under pressure: overload flips on at the second
+        // observation (mid-micro-flow), but the open micro-flow must be
+        // completed — packets 0..4 stay tagged on lane 2, only 4..6 pass
+        // through unsplit on the dispatch core.
+        let batch: Vec<Skb> = (0..6).map(|i| skb(0, i)).collect();
+        let out = p.dispatch(0, Stage::DriverPoll, Stage::SkbAlloc, 1, batch, LoadView::new(&hot));
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1.len(), 4);
+        assert!(out[0].1.last().unwrap().mf.unwrap().last_in_batch);
+        assert_eq!(out[1].0, 1, "demoted packets continue on the current core");
+        assert!(out[1].1.iter().all(|s| s.mf.is_none()));
+        assert_eq!(p.desplit_stats().0, 1);
+
+        // Pressure clears: after `overload_windows` low observations the
+        // flow is re-promoted and micro-flow numbering resumes at 1.
+        let batch: Vec<Skb> = (6..12).map(|i| skb(0, i)).collect();
+        let out = p.dispatch(0, Stage::DriverPoll, Stage::SkbAlloc, 1, batch, LoadView::new(&no_load()));
+        let tagged: Vec<&Skb> = out.iter().flat_map(|(_, v)| v).filter(|s| s.mf.is_some()).collect();
+        assert!(!tagged.is_empty(), "flow re-promoted after pressure cleared");
+        assert!(tagged.iter().all(|s| s.mf.unwrap().id >= 1));
+        assert_eq!(p.desplit_stats(), (1, 1));
     }
 
     #[test]

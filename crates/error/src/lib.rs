@@ -1,0 +1,85 @@
+//! Workspace-wide error type.
+//!
+//! Before this crate existed, malformed configuration aborted the process
+//! via `assert!` deep inside constructors, and a poisoned merge thread
+//! propagated its panic through `process_parallel`. Every fallible entry
+//! point (`try_install`, `StackSim::try_run`, `process_parallel`) now
+//! returns `Result<_, MflowError>` so callers — the CLI, the bench
+//! harness, an eventual control plane — can degrade, report, and retry
+//! instead of dying.
+//!
+//! The enum is deliberately small: configuration rejection (with the
+//! offending field named), a poisoned merge stage, and total worker loss.
+//! Everything recoverable (sheds, flushes, redispatches) is *accounting*,
+//! not an error, and lives in `RunOutput` / `RunReport` counters.
+
+use std::error::Error;
+use std::fmt;
+
+/// The workspace error type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MflowError {
+    /// A configuration field failed validation. `field` names the field
+    /// (stable, suitable for tests to match on); `reason` explains the
+    /// constraint that was violated.
+    InvalidConfig {
+        field: &'static str,
+        reason: String,
+    },
+    /// The merge stage panicked; the run's output is unusable.
+    MergerPoisoned,
+    /// Every worker lane died before the input was fully dispatched.
+    NoLiveWorkers,
+}
+
+impl MflowError {
+    /// Shorthand for an [`MflowError::InvalidConfig`].
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        MflowError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending field, if this is a configuration error.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            MflowError::InvalidConfig { field, .. } => Some(field),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MflowError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            MflowError::MergerPoisoned => write!(f, "merge stage panicked"),
+            MflowError::NoLiveWorkers => {
+                write!(f, "all worker lanes died before dispatch completed")
+            }
+        }
+    }
+}
+
+impl Error for MflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = MflowError::invalid("workers", "must be >= 1");
+        assert_eq!(e.to_string(), "invalid config: workers: must be >= 1");
+        assert_eq!(e.field(), Some("workers"));
+    }
+
+    #[test]
+    fn non_config_errors_have_no_field() {
+        assert_eq!(MflowError::MergerPoisoned.field(), None);
+        assert!(MflowError::NoLiveWorkers.to_string().contains("worker"));
+    }
+}

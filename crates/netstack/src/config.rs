@@ -1,6 +1,7 @@
 //! Simulation configuration: flows, load models, cores, noise.
 
 
+use mflow_error::MflowError;
 use mflow_sim::{CoreId, MS, US};
 
 use crate::cost::CostModel;
@@ -195,6 +196,49 @@ impl StackConfig {
     pub fn segs_per_msg(&self, msg_bytes: u64) -> u64 {
         msg_bytes.div_ceil(self.mtu_payload as u64).max(1)
     }
+
+    /// Checks the structural invariants of the run configuration;
+    /// [`crate::StackSim::try_run`] calls this so a malformed setup is
+    /// reported instead of panicking mid-simulation.
+    pub fn validate(&self) -> Result<(), MflowError> {
+        if self.kernel_cores.is_empty() {
+            return Err(MflowError::invalid("kernel_cores", "must not be empty"));
+        }
+        if self.app_cores.is_empty() {
+            return Err(MflowError::invalid("app_cores", "must not be empty"));
+        }
+        if self.flows.is_empty() {
+            return Err(MflowError::invalid("flows", "must not be empty"));
+        }
+        if self.n_socks < 1 {
+            return Err(MflowError::invalid("n_socks", "must be at least 1"));
+        }
+        if let Some(f) = self.flows.iter().find(|f| f.sock >= self.n_socks) {
+            return Err(MflowError::invalid(
+                "flows",
+                format!("flow references socket {} but n_socks is {}", f.sock, self.n_socks),
+            ));
+        }
+        if self.ring_capacity < 1 {
+            return Err(MflowError::invalid("ring_capacity", "must be at least 1"));
+        }
+        if self.sock_capacity_bytes < 1 {
+            return Err(MflowError::invalid(
+                "sock_capacity_bytes",
+                "must be at least 1",
+            ));
+        }
+        if self.mtu_payload < 1 {
+            return Err(MflowError::invalid("mtu_payload", "must be at least 1"));
+        }
+        if self.warmup_ns >= self.duration_ns {
+            return Err(MflowError::invalid(
+                "warmup_ns",
+                "warmup must end before the run does",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +261,28 @@ mod tests {
         c.path = PathKind::Native;
         assert_eq!(c.header_bytes(Transport::Tcp), 54);
         assert_eq!(c.header_bytes(Transport::Udp), 42);
+    }
+
+    #[test]
+    fn validate_accepts_stock_and_rejects_malformed() {
+        let good = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
+        good.validate().unwrap();
+
+        let mut c = good.clone();
+        c.kernel_cores.clear();
+        assert_eq!(c.validate().unwrap_err().field(), Some("kernel_cores"));
+
+        let mut c = good.clone();
+        c.flows[0].sock = 7; // only 1 socket exists
+        assert_eq!(c.validate().unwrap_err().field(), Some("flows"));
+
+        let mut c = good.clone();
+        c.warmup_ns = c.duration_ns;
+        assert_eq!(c.validate().unwrap_err().field(), Some("warmup_ns"));
+
+        let mut c = good;
+        c.ring_capacity = 0;
+        assert_eq!(c.validate().unwrap_err().field(), Some("ring_capacity"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod stage;
 pub mod tcp;
 
 pub use config::{FlowSpec, LoadModel, NoiseConfig, StackConfig};
+pub use mflow_error::MflowError;
 pub use cost::CostModel;
 pub use faults::{FaultConfig, FaultCounts, FaultPlan};
 pub use policy::{FlowMerger, LoadView, PacketSteering, StayLocal};

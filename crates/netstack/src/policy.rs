@@ -76,6 +76,14 @@ pub trait PacketSteering {
     fn dispatch_tag(&self) -> &'static str {
         "steering"
     }
+
+    /// Lifetime (de-splits, re-splits): flows demoted to unsplit
+    /// processing because their lanes stayed above the occupancy high
+    /// watermark, and flows re-promoted after pressure cleared. Zero for
+    /// policies without overload feedback.
+    fn desplit_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// A flow merger enforces original flow order over micro-flow-tagged skbs

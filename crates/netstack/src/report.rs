@@ -66,6 +66,11 @@ pub struct RunReport {
     pub fault_dups: u64,
     /// Skbs the fault injector delivered late.
     pub fault_delays: u64,
+    /// Flows the steering policy demoted to unsplit processing because
+    /// their lanes stayed above the occupancy high watermark.
+    pub desplits: u64,
+    /// Flows re-promoted to split processing after lane pressure cleared.
+    pub resplits: u64,
     /// Delivered bytes per 1 ms window over the whole run — for
     /// convergence checks and throughput-over-time plots.
     pub delivered_series: WindowedRate,

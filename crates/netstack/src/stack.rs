@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use mflow_error::MflowError;
 use mflow_sim::time::wire_ns;
 use mflow_sim::{CoreId, CoreSet, Ctx, Engine, Model, Rng, Time};
 
@@ -148,11 +149,24 @@ impl Default for Stats {
 
 impl StackSim {
     /// Builds a simulation; `merge` installs MFLOW's reassembly hook.
+    /// Panics on a malformed [`StackConfig`]; prefer
+    /// [`StackSim::try_new`] in fallible contexts.
     pub fn new(
         cfg: StackConfig,
         policy: Box<dyn PacketSteering>,
         merge: Option<MergeSetup>,
     ) -> Self {
+        Self::try_new(cfg, policy, merge).expect("invalid StackConfig")
+    }
+
+    /// Builds a simulation, rejecting configurations that violate
+    /// [`StackConfig::validate`].
+    pub fn try_new(
+        cfg: StackConfig,
+        policy: Box<dyn PacketSteering>,
+        merge: Option<MergeSetup>,
+    ) -> Result<Self, MflowError> {
+        cfg.validate()?;
         let n_cores = cfg.n_cores();
         let mut rng = Rng::new(cfg.seed);
         let mut flows = Vec::with_capacity(cfg.flows.len());
@@ -220,7 +234,7 @@ impl StackSim {
         if cfg.trace {
             cores.enable_trace();
         }
-        Self {
+        Ok(Self {
             cores,
             client_cores: CoreSet::new(cfg.flows.len()),
             backlogs: (0..n_cores)
@@ -242,19 +256,30 @@ impl StackSim {
             merge,
             rings,
             stats: Stats::default(),
-        }
+        })
     }
 
     /// Convenience: builds, seeds initial events and runs to completion,
-    /// returning the report.
+    /// returning the report. Panics on a malformed [`StackConfig`];
+    /// prefer [`StackSim::try_run`] in fallible contexts.
     pub fn run(
         cfg: StackConfig,
         policy: Box<dyn PacketSteering>,
         merge: Option<MergeSetup>,
     ) -> RunReport {
+        Self::try_run(cfg, policy, merge).expect("invalid StackConfig")
+    }
+
+    /// Fallible [`StackSim::run`]: a malformed configuration is reported
+    /// as [`MflowError::InvalidConfig`] instead of a panic.
+    pub fn try_run(
+        cfg: StackConfig,
+        policy: Box<dyn PacketSteering>,
+        merge: Option<MergeSetup>,
+    ) -> Result<RunReport, MflowError> {
         let duration = cfg.duration_ns;
         let mut engine = Engine::new();
-        let mut sim = StackSim::new(cfg, policy, merge);
+        let mut sim = StackSim::try_new(cfg, policy, merge)?;
         for c in 0..sim.clients.len() {
             sim.clients[c].kick_pending = true;
             engine.schedule_at(0, Event::ClientKick { client: c });
@@ -274,7 +299,7 @@ impl StackSim {
         }
         engine.run_until(&mut sim, duration);
         let events = engine.events_processed();
-        sim.into_report(duration, events)
+        Ok(sim.into_report(duration, events))
     }
 
     fn in_window(&self, now: Time) -> bool {
@@ -895,6 +920,7 @@ impl StackSim {
                 )
             })
             .unwrap_or((0, 0, 0, 0));
+        let (desplits, resplits) = self.policy.desplit_stats();
         RunReport {
             policy: self.policy.name().to_string(),
             duration_ns,
@@ -925,6 +951,8 @@ impl StackSim {
             fault_drops: fault_counts.drops,
             fault_dups: fault_counts.dups,
             fault_delays: fault_counts.delays,
+            desplits,
+            resplits,
             delivered_series: self.stats.delivered_series.take().expect("series present"),
             trace: self.cores.trace().cloned(),
             backlog_watermark: self.backlog_watermark.clone(),

@@ -24,6 +24,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count actually run: a `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides the
+    /// per-property count (mirroring upstream; this is how the CI stress
+    /// job deepens every property without editing the tests).
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -395,8 +406,9 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = __cfg.resolved_cases();
             let __hash = $crate::test_name_hash(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            for __case in 0..__cases {
                 let mut __rng = $crate::TestRng::for_case(__hash, __case as u64);
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 let __inputs = format!(
@@ -411,7 +423,7 @@ macro_rules! __proptest_items {
                         "proptest: {} failed on case {}/{} with inputs: {}",
                         stringify!($name),
                         __case,
-                        __cfg.cases,
+                        __cases,
                         __inputs
                     );
                     ::std::panic::resume_unwind(__e);
@@ -441,6 +453,20 @@ mod tests {
             assert!((3..17).contains(&v));
             let f = (0.25f64..0.75).generate(&mut rng);
             assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn env_override_parses_positive_integers_only() {
+        // Exercises only the parse/fallback logic; the variable is not
+        // normally set under `cargo test`, so explicit counts win.
+        let cfg = ProptestConfig::with_cases(24);
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => {
+                let expect = v.parse().ok().filter(|&n: &u32| n > 0).unwrap_or(24);
+                assert_eq!(cfg.resolved_cases(), expect);
+            }
+            Err(_) => assert_eq!(cfg.resolved_cases(), 24),
         }
     }
 

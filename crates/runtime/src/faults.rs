@@ -23,6 +23,30 @@ pub struct WorkerKill {
     pub after_batches: u64,
 }
 
+/// Sustained stall of one lane: the worker sleeps before *every* batch,
+/// modelling a splitting core pinned to an overcommitted CPU. Unlike the
+/// probabilistic [`RuntimeFaults::stall_rate`], the pressure never lets
+/// up, so the lane's queue sits at its watermark for the whole run — the
+/// scenario backpressure policies exist for.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneStall {
+    /// Worker (lane) index to stall.
+    pub worker: usize,
+    /// Sleep before each batch, in milliseconds.
+    pub ms: u64,
+}
+
+/// Slow-consumer worker: a milder, microsecond-scale per-batch slowdown.
+/// Enough to keep one queue consistently deeper than the others (engaging
+/// watermark-based policies) without freezing the lane outright.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowWorker {
+    /// Worker (lane) index to slow down.
+    pub worker: usize,
+    /// Extra processing time per batch, in microseconds.
+    pub per_batch_us: u64,
+}
+
 /// Fault mix for [`process_parallel_faulty`].
 ///
 /// [`process_parallel_faulty`]: crate::pipeline::process_parallel_faulty
@@ -50,6 +74,10 @@ pub struct RuntimeFaults {
     pub stall_ms: u64,
     /// Kill a worker mid-run.
     pub kill: Option<WorkerKill>,
+    /// Sustained stall of one lane (sleep before every batch).
+    pub lane_stall: Option<LaneStall>,
+    /// Slow-consumer worker (per-batch microsecond slowdown).
+    pub slow_worker: Option<SlowWorker>,
     /// Merger flush deadline: with no arrivals for this long, the merger
     /// force-advances past the micro-flow it is stuck on. `None` waits
     /// forever (only safe without loss faults).
@@ -71,6 +99,8 @@ impl RuntimeFaults {
             stall_rate: 0.0,
             stall_ms: 1,
             kill: None,
+            lane_stall: None,
+            slow_worker: None,
             flush_timeout_ms: Some(100),
         }
     }
@@ -83,6 +113,8 @@ impl RuntimeFaults {
             || self.late_mf_rate > 0.0
             || self.stall_rate > 0.0
             || self.kill.is_some()
+            || self.lane_stall.is_some()
+            || self.slow_worker.is_some()
     }
 
     /// True with probability `rate`, as a pure function of the key.
@@ -150,6 +182,19 @@ mod tests {
         f.kill = Some(WorkerKill {
             worker: 0,
             after_batches: 5,
+        });
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn lane_stall_and_slow_worker_make_it_active() {
+        let mut f = RuntimeFaults::none();
+        f.lane_stall = Some(LaneStall { worker: 0, ms: 2 });
+        assert!(f.is_active());
+        let mut f = RuntimeFaults::none();
+        f.slow_worker = Some(SlowWorker {
+            worker: 1,
+            per_batch_us: 50,
         });
         assert!(f.is_active());
     }

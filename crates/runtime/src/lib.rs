@@ -17,7 +17,7 @@
 //!
 //! let frames = generate_frames(256, 512);
 //! let serial = process_serial(&frames);
-//! let parallel = process_parallel(&frames, &RuntimeConfig::default());
+//! let parallel = process_parallel(&frames, &RuntimeConfig::default()).unwrap();
 //! assert_eq!(serial.digests, parallel.digests);
 //! ```
 
@@ -26,9 +26,11 @@ pub mod packet;
 pub mod pipeline;
 pub mod work;
 
-pub use faults::{RuntimeFaults, WorkerKill};
+pub use faults::{LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
+pub use mflow_error::MflowError;
 pub use packet::{generate_frames, Frame};
 pub use pipeline::{
-    process_parallel, process_parallel_faulty, process_serial, RunOutput, RuntimeConfig,
+    process_parallel, process_parallel_faulty, process_serial, BackpressurePolicy, RunOutput,
+    RuntimeConfig,
 };
 pub use work::{process_frame, PacketResult};

@@ -39,15 +39,45 @@
 //! dispatcher's planned drops plus the flushed micro-flows.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use mflow::{MergeCounter, MfTag};
+use mflow_error::MflowError;
 
 use crate::faults::RuntimeFaults;
 use crate::packet::Frame;
 use crate::work::{process_frame, PacketResult};
+
+/// What the dispatcher does when a lane is at its watermark (or its queue
+/// is outright full).
+///
+/// `Block` reproduces the kernel's default: the dispatching core waits on
+/// the splitting queue, which is safe but lets one slow lane stall the
+/// whole stream. The other two bound dispatcher latency under overload:
+/// `DropTail` sheds whole micro-flows (never a partial batch, so the
+/// merge counter is only ever missing complete micro-flows it can flush
+/// past), and `Inline` processes the batch on the dispatching core
+/// itself, trading its cycles for zero loss and exact order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Wait for the lane to drain (today's behavior).
+    #[default]
+    Block,
+    /// Shed whole batches, up to `budget` packets for the run; once the
+    /// budget is exhausted the dispatcher falls back to blocking (or to
+    /// inline processing with [`RuntimeConfig::inline_fallback`]).
+    DropTail {
+        /// Maximum packets the run may shed.
+        budget: u64,
+    },
+    /// Process the batch on the dispatcher thread. The batch rides a
+    /// fresh recovery lane, so the merger's per-lane FIFO assumption
+    /// holds and ordering is preserved via the merge counter.
+    Inline,
+}
 
 /// Parallel-pipeline parameters.
 #[derive(Clone, Copy, Debug)]
@@ -59,6 +89,15 @@ pub struct RuntimeConfig {
     /// Bounded channel depth between dispatcher and each worker, in
     /// batches.
     pub queue_depth: usize,
+    /// What to do when a lane is saturated.
+    pub backpressure: BackpressurePolicy,
+    /// Queue depth (in batches) at which the policy engages, before the
+    /// channel is even full. `None` engages only when a `try_send`
+    /// reports the queue full.
+    pub high_watermark: Option<usize>,
+    /// With `DropTail`: once the shed budget is exhausted, process
+    /// overflow batches inline instead of blocking.
+    pub inline_fallback: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -67,7 +106,35 @@ impl Default for RuntimeConfig {
             workers: 2,
             batch_size: 256,
             queue_depth: 8,
+            backpressure: BackpressurePolicy::Block,
+            high_watermark: None,
+            inline_fallback: false,
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Checks the structural invariants; every fallible pipeline entry
+    /// point calls this instead of asserting.
+    pub fn validate(&self) -> Result<(), MflowError> {
+        if self.workers < 1 {
+            return Err(MflowError::invalid("workers", "must be at least 1"));
+        }
+        if self.batch_size < 1 {
+            return Err(MflowError::invalid("batch_size", "must be at least 1"));
+        }
+        if self.queue_depth < 1 {
+            return Err(MflowError::invalid("queue_depth", "must be at least 1"));
+        }
+        if let Some(w) = self.high_watermark {
+            if w < 1 || w > self.queue_depth {
+                return Err(MflowError::invalid(
+                    "high_watermark",
+                    "must be between 1 and queue_depth",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -97,6 +164,21 @@ pub struct RunOutput {
     /// Results still parked in the merger after the final flush (always 0
     /// unless flushing was disabled).
     pub merge_residue: usize,
+    /// Packets shed by the `DropTail` policy (whole batches only).
+    pub shed_packets: u64,
+    /// Each shed batch as `(micro-flow id, lane)` — the lane whose
+    /// saturation caused the shed.
+    pub sheds: Vec<(u64, usize)>,
+    /// Batches processed inline on the dispatcher thread.
+    pub inline_batches: u64,
+    /// Packets processed inline on the dispatcher thread.
+    pub inline_packets: u64,
+    /// Times a `DropTail` dispatcher exhausted its budget and fell back
+    /// to blocking.
+    pub block_fallbacks: u64,
+    /// Times the backpressure policy engaged (watermark hit or queue
+    /// full), regardless of what it then did.
+    pub backpressure_events: u64,
 }
 
 impl RunOutput {
@@ -112,6 +194,12 @@ impl RunOutput {
             redispatched: 0,
             workers_died: 0,
             merge_residue: 0,
+            shed_packets: 0,
+            sheds: Vec::new(),
+            inline_batches: 0,
+            inline_packets: 0,
+            block_fallbacks: 0,
+            backpressure_events: 0,
         }
     }
 }
@@ -137,8 +225,16 @@ struct Lane {
     recent: VecDeque<Batch>,
 }
 
+/// Outcome of a non-blocking send attempt.
+enum SendAttempt {
+    /// Enqueued (or rerouted through the dead-lane machinery).
+    Sent,
+    /// The queue was full; the batch comes back untouched.
+    Full(Batch),
+}
+
 /// Everything the dispatcher tracks while the stream is in flight.
-struct Dispatcher {
+struct Dispatcher<'a> {
     lanes: Vec<Lane>,
     retain: usize,
     /// Next recovery lane ID (tag lanes above the worker count are unique
@@ -147,17 +243,55 @@ struct Dispatcher {
     /// Physical worker round-robin cursor for recovery sends.
     next_worker: usize,
     redispatched: u64,
+    /// Per-lane queue depth in batches: incremented here on every
+    /// successful send, decremented by the worker as it dequeues. The
+    /// watermark signal backpressure decisions read.
+    depths: &'a [AtomicUsize],
+    policy: BackpressurePolicy,
+    high_watermark: Option<usize>,
+    inline_fallback: bool,
+    /// Packets `DropTail` may still shed.
+    shed_budget_left: u64,
+    shed_packets: u64,
+    sheds: Vec<(u64, usize)>,
+    inline_batches: u64,
+    inline_packets: u64,
+    block_fallbacks: u64,
+    backpressure_events: u64,
 }
 
-impl Dispatcher {
-    fn new(lanes: Vec<Lane>, faults: &RuntimeFaults, queue_depth: usize) -> Self {
+impl<'a> Dispatcher<'a> {
+    fn new(
+        lanes: Vec<Lane>,
+        faults: &RuntimeFaults,
+        cfg: &RuntimeConfig,
+        depths: &'a [AtomicUsize],
+    ) -> Self {
         let n = lanes.len();
         Self {
             lanes,
-            retain: if faults.is_active() { queue_depth + 2 } else { 0 },
+            retain: if faults.is_active() {
+                cfg.queue_depth + 2
+            } else {
+                0
+            },
             recovery_lane: n,
             next_worker: 0,
             redispatched: 0,
+            depths,
+            policy: cfg.backpressure,
+            high_watermark: cfg.high_watermark,
+            inline_fallback: cfg.inline_fallback,
+            shed_budget_left: match cfg.backpressure {
+                BackpressurePolicy::DropTail { budget } => budget,
+                _ => 0,
+            },
+            shed_packets: 0,
+            sheds: Vec::new(),
+            inline_batches: 0,
+            inline_packets: 0,
+            block_fallbacks: 0,
+            backpressure_events: 0,
         }
     }
 
@@ -175,7 +309,9 @@ impl Dispatcher {
                 continue;
             };
             match tx.send(batch) {
-                Ok(()) => {}
+                Ok(()) => {
+                    self.depths[lane].fetch_add(1, Ordering::Relaxed);
+                }
                 Err(mpsc::SendError(batch)) => {
                     // The worker died: everything it still held is lost.
                     // Redispatch its retained window plus this batch.
@@ -195,13 +331,98 @@ impl Dispatcher {
     /// (faulty runs only).
     fn send_retained(&mut self, lane: usize, batch: Batch) {
         if self.retain > 0 && self.lanes[lane].tx.is_some() {
-            let recent = &mut self.lanes[lane].recent;
-            if recent.len() == self.retain {
-                recent.pop_front();
-            }
-            recent.push_back(batch.clone());
+            self.remember(lane, batch.clone());
         }
         self.send(lane, batch);
+    }
+
+    fn remember(&mut self, lane: usize, batch: Batch) {
+        let recent = &mut self.lanes[lane].recent;
+        if recent.len() == self.retain {
+            recent.pop_front();
+        }
+        recent.push_back(batch);
+    }
+
+    /// Offers `batch` to worker `lane` under the backpressure policy.
+    /// Returns the batch when the policy decided the *caller* must
+    /// process it inline on the dispatcher thread.
+    fn offer(&mut self, lane: usize, batch: Batch) -> Option<Batch> {
+        if self.lanes[lane].tx.is_some() {
+            if let Some(w) = self.high_watermark {
+                if self.depths[lane].load(Ordering::Relaxed) >= w {
+                    self.backpressure_events += 1;
+                    return self.apply_policy(lane, batch);
+                }
+            }
+        }
+        match self.try_send_now(lane, batch) {
+            SendAttempt::Sent => None,
+            SendAttempt::Full(batch) => {
+                self.backpressure_events += 1;
+                self.apply_policy(lane, batch)
+            }
+        }
+    }
+
+    /// Non-blocking send with the same dead-lane recovery as [`send`].
+    ///
+    /// [`send`]: Dispatcher::send
+    fn try_send_now(&mut self, lane: usize, batch: Batch) -> SendAttempt {
+        let Some(tx) = &self.lanes[lane].tx else {
+            // Known-dead lane: the blocking path already reroutes without
+            // ever waiting.
+            self.send(lane, batch);
+            return SendAttempt::Sent;
+        };
+        let copy = if self.retain > 0 { Some(batch.clone()) } else { None };
+        match tx.try_send(batch) {
+            Ok(()) => {
+                self.depths[lane].fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = copy {
+                    self.remember(lane, c);
+                }
+                SendAttempt::Sent
+            }
+            Err(mpsc::TrySendError::Full(b)) => SendAttempt::Full(b),
+            Err(mpsc::TrySendError::Disconnected(b)) => {
+                // Route through the blocking path: its send error handler
+                // marks the lane dead and redispatches the retained
+                // window plus this batch.
+                self.send(lane, b);
+                SendAttempt::Sent
+            }
+        }
+    }
+
+    /// The policy decision for a saturated lane. `None` means the batch
+    /// was handled (sent, blocked-and-sent, or shed); `Some` hands it
+    /// back for inline processing.
+    fn apply_policy(&mut self, lane: usize, batch: Batch) -> Option<Batch> {
+        match self.policy {
+            BackpressurePolicy::Block => {
+                self.send_retained(lane, batch);
+                None
+            }
+            BackpressurePolicy::DropTail { .. } => {
+                let n = batch.len() as u64;
+                if self.shed_budget_left >= n && n > 0 {
+                    self.shed_budget_left -= n;
+                    self.shed_packets += n;
+                    if let Some((tag, _)) = batch.first() {
+                        self.sheds.push((tag.id, lane));
+                    }
+                    None
+                } else if self.inline_fallback {
+                    Some(batch)
+                } else {
+                    self.block_fallbacks += 1;
+                    self.send_retained(lane, batch);
+                    None
+                }
+            }
+            BackpressurePolicy::Inline => Some(batch),
+        }
     }
 
     /// Retags a lost batch onto a fresh recovery lane and targets the
@@ -257,7 +478,12 @@ impl Dispatcher {
 /// MFLOW pipeline: split into micro-flows, process on `workers` threads,
 /// merge back in order. Equivalent to [`process_parallel_faulty`] with
 /// [`RuntimeFaults::none`].
-pub fn process_parallel(frames: &[Frame], cfg: &RuntimeConfig) -> RunOutput {
+///
+/// Returns [`MflowError::InvalidConfig`] for a malformed configuration,
+/// [`MflowError::MergerPoisoned`] if the merge stage panics, and
+/// [`MflowError::NoLiveWorkers`] when every worker died with input still
+/// pending.
+pub fn process_parallel(frames: &[Frame], cfg: &RuntimeConfig) -> Result<RunOutput, MflowError> {
     process_parallel_faulty(frames, cfg, &RuntimeFaults::none())
 }
 
@@ -268,11 +494,15 @@ pub fn process_parallel_faulty(
     frames: &[Frame],
     cfg: &RuntimeConfig,
     faults: &RuntimeFaults,
-) -> RunOutput {
-    assert!(cfg.workers >= 1 && cfg.batch_size >= 1 && cfg.queue_depth >= 1);
+) -> Result<RunOutput, MflowError> {
+    cfg.validate()?;
     let start = Instant::now();
     let n_workers = cfg.workers;
-    let flush_timeout = if faults.is_active() {
+    // DropTail removes whole micro-flows from the stream, which stalls
+    // the merge counter exactly like injected loss does — so shedding
+    // policies get the flush deadline even in otherwise faultless runs.
+    let can_shed = matches!(cfg.backpressure, BackpressurePolicy::DropTail { .. });
+    let flush_timeout = if faults.is_active() || can_shed {
         faults.flush_timeout_ms.map(Duration::from_millis)
     } else {
         None
@@ -291,20 +521,35 @@ pub fn process_parallel_faulty(
     }
     // Workers -> merger (MPSC).
     let (merge_tx, merge_rx) = mpsc::sync_channel::<(MfTag, PacketResult)>(n_workers * 1024);
+    // Per-lane queue depths, the watermark signal for backpressure.
+    let depths: Vec<AtomicUsize> = (0..n_workers).map(|_| AtomicUsize::new(0)).collect();
+    let depths = &depths;
 
-    let (out, fault_drops, redispatched, workers_died) = thread::scope(|s| {
+    let scope_out = thread::scope(|s| {
         // Workers: the "splitting cores".
         let mut handles = Vec::with_capacity(n_workers);
         for (worker, rx) in lane_rx.into_iter().enumerate() {
             let tx = merge_tx.clone();
             handles.push(s.spawn(move || {
                 for (processed, batch) in rx.into_iter().enumerate() {
+                    depths[worker].fetch_sub(1, Ordering::Relaxed);
                     let processed = processed as u64;
                     if let Some(kill) = faults.kill {
                         if kill.worker == worker && processed >= kill.after_batches {
                             // The injected death: an abrupt panic that
                             // drops the queue and the merger sender.
                             panic!("injected worker death");
+                        }
+                    }
+                    if let Some(stall) = faults.lane_stall {
+                        if stall.worker == worker {
+                            // Sustained pressure: every batch pays.
+                            thread::sleep(Duration::from_millis(stall.ms));
+                        }
+                    }
+                    if let Some(slow) = faults.slow_worker {
+                        if slow.worker == worker {
+                            thread::sleep(Duration::from_micros(slow.per_batch_us));
                         }
                     }
                     if let Some((tag, _)) = batch.first() {
@@ -322,7 +567,6 @@ pub fn process_parallel_faulty(
                 }
             }));
         }
-        drop(merge_tx);
 
         // Merger thread: merging-counter reassembly with flush recovery.
         let merger = s.spawn(move || {
@@ -366,7 +610,22 @@ pub fn process_parallel_faulty(
         });
 
         // Dispatcher: this thread plays the IRQ core's first half.
-        let mut d = Dispatcher::new(lanes, faults, cfg.queue_depth);
+        let mut d = Dispatcher::new(lanes, faults, cfg, depths);
+        // Batches the policy handed back are processed right here on the
+        // dispatcher thread, retagged onto fresh recovery lanes so the
+        // merger's per-lane FIFO assumption holds (earlier batches for
+        // the original lane may still sit in the worker's queue).
+        let process_inline = |d: &mut Dispatcher<'_>, batch: Batch| {
+            let batch = d.retag(batch);
+            d.inline_batches += 1;
+            d.inline_packets += batch.len() as u64;
+            for (tag, frame) in batch {
+                let result = process_frame(&frame);
+                if merge_tx.send((tag, result)).is_err() {
+                    return;
+                }
+            }
+        };
         let mut fault_drops = 0u64;
         let mut mf_id = 0u64;
         let mut lane = 0usize;
@@ -384,20 +643,15 @@ pub fn process_parallel_faulty(
                 let full = std::mem::take(&mut batch);
                 batch.reserve(cfg.batch_size);
                 if !full.is_empty() {
-                    if !faults.is_active() {
-                        d.send(lane, full);
-                    } else if faults.delays_mf(mf_id) {
+                    if faults.is_active() && faults.delays_mf(mf_id) {
                         // Held back: will be redispatched on a recovery
                         // lane `late_by` batches from now.
                         delayed.push((mf_id + faults.late_by.max(1), full));
-                    } else {
-                        let dup = faults.duplicates_mf(mf_id);
-                        if dup {
-                            d.send_retained(lane, full.clone());
-                            d.send_recovery(full);
-                        } else {
-                            d.send_retained(lane, full);
-                        }
+                    } else if faults.is_active() && faults.duplicates_mf(mf_id) {
+                        d.send_retained(lane, full.clone());
+                        d.send_recovery(full);
+                    } else if let Some(b) = d.offer(lane, full) {
+                        process_inline(&mut d, b);
                     }
                 }
                 let due: Vec<Batch> = {
@@ -424,7 +678,16 @@ pub fn process_parallel_faulty(
         for (_, b) in delayed {
             d.send_recovery(b);
         }
+        let shed_packets = d.shed_packets;
+        let sheds = std::mem::take(&mut d.sheds);
+        let inline_batches = d.inline_batches;
+        let inline_packets = d.inline_packets;
+        let block_fallbacks = d.block_fallbacks;
+        let backpressure_events = d.backpressure_events;
         let redispatched = d.finish();
+        // The dispatcher's merger sender goes last: with it gone, the
+        // merger exits once the workers drain.
+        drop(merge_tx);
 
         // Join workers first (they feed the merger); injected deaths
         // surface here as panics and are counted, not propagated.
@@ -435,14 +698,33 @@ pub fn process_parallel_faulty(
         let merged = match merger.join() {
             Ok(r) => r,
             // The merger has no injected faults: a panic there is a real
-            // bug and must stay loud.
-            Err(payload) => std::panic::resume_unwind(payload),
+            // bug, surfaced as an error instead of a propagated abort.
+            Err(_) => return Err(MflowError::MergerPoisoned),
         };
-        (merged, fault_drops, redispatched, workers_died)
+        Ok((
+            merged,
+            fault_drops,
+            redispatched,
+            workers_died,
+            (
+                shed_packets,
+                sheds,
+                inline_batches,
+                inline_packets,
+                block_fallbacks,
+                backpressure_events,
+            ),
+        ))
     });
+    let (out, fault_drops, redispatched, workers_died, bp) = scope_out?;
+    let (shed_packets, sheds, inline_batches, inline_packets, block_fallbacks, backpressure_events) =
+        bp;
+    if n_workers > 0 && workers_died == n_workers && !frames.is_empty() {
+        return Err(MflowError::NoLiveWorkers);
+    }
 
     let (digests, residue, ooo, flushed_mfs, late_drops, dup_drops) = out;
-    RunOutput {
+    Ok(RunOutput {
         digests,
         elapsed: start.elapsed(),
         ooo_at_merge: ooo,
@@ -453,7 +735,13 @@ pub fn process_parallel_faulty(
         redispatched,
         workers_died,
         merge_residue: residue,
-    }
+        shed_packets,
+        sheds,
+        inline_batches,
+        inline_packets,
+        block_fallbacks,
+        backpressure_events,
+    })
 }
 
 #[cfg(test)]
@@ -465,7 +753,7 @@ mod tests {
     fn run(n: usize, payload: usize, cfg: RuntimeConfig) {
         let frames = generate_frames(n, payload);
         let serial = process_serial(&frames);
-        let parallel = process_parallel(&frames, &cfg);
+        let parallel = process_parallel(&frames, &cfg).unwrap();
         assert_eq!(
             serial.digests, parallel.digests,
             "order or content diverged with {cfg:?}"
@@ -486,6 +774,7 @@ mod tests {
                 workers: 8,
                 batch_size: 1,
                 queue_depth: 4,
+                ..RuntimeConfig::default()
             },
         );
     }
@@ -499,6 +788,7 @@ mod tests {
                 workers: 3,
                 batch_size: 1_000,
                 queue_depth: 2,
+                ..RuntimeConfig::default()
             },
         );
     }
@@ -512,13 +802,14 @@ mod tests {
                 workers: 1,
                 batch_size: 64,
                 queue_depth: 2,
+                ..RuntimeConfig::default()
             },
         );
     }
 
     #[test]
     fn empty_input() {
-        let out = process_parallel(&[], &RuntimeConfig::default());
+        let out = process_parallel(&[], &RuntimeConfig::default()).unwrap();
         assert!(out.digests.is_empty());
         assert_eq!(out.ooo_at_merge, 0);
     }
@@ -532,6 +823,7 @@ mod tests {
                 workers: 2,
                 batch_size: 256,
                 queue_depth: 2,
+                ..RuntimeConfig::default()
             },
         );
     }
@@ -549,16 +841,20 @@ mod tests {
                 workers: 4,
                 batch_size: 1,
                 queue_depth: 64,
+                ..RuntimeConfig::default()
             },
-        );
+        )
+        .unwrap();
         let large = process_parallel(
             &frames,
             &RuntimeConfig {
                 workers: 4,
                 batch_size: 20_000,
                 queue_depth: 64,
+                ..RuntimeConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(large.ooo_at_merge, 0, "single batch cannot interleave");
         assert!(
             small.ooo_at_merge > 0,
@@ -578,8 +874,10 @@ mod tests {
                         workers,
                         batch_size: batch,
                         queue_depth: 3,
+                        ..RuntimeConfig::default()
                     },
-                );
+                )
+                .unwrap();
                 assert_eq!(out.digests, reference.digests, "w={workers} b={batch}");
             }
         }
@@ -595,12 +893,15 @@ mod tests {
             &frames,
             &RuntimeConfig::default(),
             &RuntimeFaults::none(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.digests, serial.digests);
         assert!(out.flushed_mfs.is_empty());
         assert_eq!(out.fault_drops, 0);
         assert_eq!(out.workers_died, 0);
         assert_eq!(out.merge_residue, 0);
+        assert_eq!(out.shed_packets, 0);
+        assert_eq!(out.backpressure_events, 0);
     }
 
     #[test]
@@ -618,9 +919,11 @@ mod tests {
                 workers: 3,
                 batch_size: 64,
                 queue_depth: 4,
+                ..RuntimeConfig::default()
             },
             &faults,
-        );
+        )
+        .unwrap();
         assert_eq!(out.workers_died, 1);
         assert!(!out.digests.is_empty());
         assert_eq!(out.merge_residue, 0, "end flush must empty the merger");
@@ -628,5 +931,102 @@ mod tests {
         for pair in out.digests.windows(2) {
             assert!(pair[0].seq < pair[1].seq);
         }
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let cfg = RuntimeConfig {
+            workers: 0,
+            ..RuntimeConfig::default()
+        };
+        let err = process_parallel(&[], &cfg).unwrap_err();
+        assert_eq!(err.field(), Some("workers"));
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let cfg = RuntimeConfig {
+            batch_size: 0,
+            ..RuntimeConfig::default()
+        };
+        let err = process_parallel(&[], &cfg).unwrap_err();
+        assert_eq!(err.field(), Some("batch_size"));
+    }
+
+    #[test]
+    fn zero_queue_depth_rejected() {
+        let cfg = RuntimeConfig {
+            queue_depth: 0,
+            ..RuntimeConfig::default()
+        };
+        let err = process_parallel(&[], &cfg).unwrap_err();
+        assert_eq!(err.field(), Some("queue_depth"));
+    }
+
+    #[test]
+    fn out_of_range_watermark_rejected() {
+        for w in [0, 9] {
+            let cfg = RuntimeConfig {
+                queue_depth: 8,
+                high_watermark: Some(w),
+                ..RuntimeConfig::default()
+            };
+            let err = process_parallel(&[], &cfg).unwrap_err();
+            assert_eq!(err.field(), Some("high_watermark"), "watermark {w}");
+        }
+        // In-range watermarks pass validation.
+        let cfg = RuntimeConfig {
+            queue_depth: 8,
+            high_watermark: Some(8),
+            ..RuntimeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn inline_policy_keeps_output_exact() {
+        // A watermark of 1 engages the policy on nearly every send; with
+        // `Inline` every engaged batch is processed on the dispatcher
+        // thread and the output must still equal the serial run exactly.
+        let frames = generate_frames(2_000, 64);
+        let serial = process_serial(&frames);
+        let out = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers: 2,
+                batch_size: 32,
+                queue_depth: 2,
+                backpressure: BackpressurePolicy::Inline,
+                high_watermark: Some(1),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.digests, serial.digests);
+        assert!(out.inline_batches > 0, "watermark 1 must engage inline");
+        assert_eq!(out.shed_packets, 0);
+    }
+
+    #[test]
+    fn drop_tail_with_zero_budget_blocks_instead() {
+        // Budget 0 can never shed, so every engagement falls back to a
+        // blocking send: output stays exact and fallbacks are counted.
+        let frames = generate_frames(1_000, 64);
+        let serial = process_serial(&frames);
+        let out = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers: 2,
+                batch_size: 16,
+                queue_depth: 1,
+                backpressure: BackpressurePolicy::DropTail { budget: 0 },
+                high_watermark: Some(1),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.digests, serial.digests);
+        assert!(out.block_fallbacks > 0);
+        assert_eq!(out.shed_packets, 0);
     }
 }

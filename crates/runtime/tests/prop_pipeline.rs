@@ -2,7 +2,9 @@
 //! counts, payload sizes, worker counts and batch sizes, the parallel
 //! pipeline must emit exactly the serial result.
 
-use mflow_runtime::{generate_frames, process_parallel, process_serial, RuntimeConfig};
+use mflow_runtime::{
+    generate_frames, process_parallel, process_serial, BackpressurePolicy, RuntimeConfig,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -24,8 +26,9 @@ proptest! {
                 workers,
                 batch_size: batch,
                 queue_depth: depth,
+                ..RuntimeConfig::default()
             },
-        );
+        ).unwrap();
         prop_assert_eq!(serial.digests, parallel.digests);
     }
 
@@ -42,11 +45,44 @@ proptest! {
                 workers,
                 batch_size: batch,
                 queue_depth: 4,
+                ..RuntimeConfig::default()
             },
-        );
+        ).unwrap();
         prop_assert_eq!(out.digests.len(), n);
         for (i, r) in out.digests.iter().enumerate() {
             prop_assert_eq!(r.seq, i as u64, "wrong seq at position {}", i);
         }
+    }
+
+    #[test]
+    fn lossless_policies_stay_exact_at_any_watermark(
+        n in 1usize..900,
+        workers in 1usize..4,
+        batch in 1usize..64,
+        depth in 1usize..5,
+        watermark in 1usize..5,
+        policy_sel in 0usize..2,
+    ) {
+        // Block and Inline never lose packets, whatever the watermark
+        // does — the output must equal the serial run bit for bit.
+        let frames = generate_frames(n, 32);
+        let serial = process_serial(&frames);
+        let out = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers,
+                batch_size: batch,
+                queue_depth: depth,
+                backpressure: if policy_sel == 1 {
+                    BackpressurePolicy::Inline
+                } else {
+                    BackpressurePolicy::Block
+                },
+                high_watermark: Some(watermark.min(depth)),
+                inline_fallback: false,
+            },
+        ).unwrap();
+        prop_assert_eq!(serial.digests, out.digests);
+        prop_assert_eq!(out.shed_packets, 0);
     }
 }

@@ -1,0 +1,193 @@
+//! Overload-control acceptance tests: the dispatcher's backpressure
+//! policies against a sustained lane stall.
+//!
+//! The contract under test (the robustness tentpole): with `DropTail`
+//! the run terminates within the flush deadline without panicking and
+//! every offered packet is accounted for — delivered, shed (attributed
+//! to the saturated lane), or a member of a flushed micro-flow; with
+//! `Inline` (and with `Block`) nothing is ever lost and the delivered
+//! stream is bit-identical to the serial run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use mflow_runtime::{
+    generate_frames, process_parallel_faulty, process_serial, BackpressurePolicy, Frame, LaneStall,
+    RunOutput, RuntimeConfig, RuntimeFaults,
+};
+
+/// A fault plan that stalls worker 0 before every batch — the sustained
+/// slow consumer of the acceptance scenario — and nothing else.
+fn stalled_lane(ms: u64) -> RuntimeFaults {
+    let mut faults = RuntimeFaults::none();
+    faults.lane_stall = Some(LaneStall { worker: 0, ms });
+    faults.flush_timeout_ms = Some(250);
+    faults
+}
+
+/// Checks the universal part of the contract: ordered, duplicate-free,
+/// digest-correct output, and every missing sequence number attributed
+/// to a shed or flushed micro-flow. Returns the micro-flow ids shed.
+fn check_accounting(frames: &[Frame], batch_size: usize, out: &RunOutput) -> BTreeSet<u64> {
+    let serial = process_serial(frames);
+    let reference: BTreeMap<u64, u64> = serial.digests.iter().map(|r| (r.seq, r.digest)).collect();
+    for pair in out.digests.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "inversion or duplicate at seq {} -> {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+    for r in &out.digests {
+        assert_eq!(reference.get(&r.seq), Some(&r.digest), "digest mismatch at {}", r.seq);
+    }
+    assert_eq!(out.merge_residue, 0, "items left parked in the merger");
+    assert_eq!(
+        out.digests.len() as u64 + out.shed_packets,
+        frames.len() as u64,
+        "packets neither delivered nor shed"
+    );
+
+    // With no packet-level faults the dispatcher's batching is exact:
+    // micro-flow of seq `s` is `s / batch_size`. Every missing packet
+    // must belong to a shed micro-flow, and that micro-flow must also be
+    // flushed or simply absent from delivery — never half-delivered.
+    let shed_mfs: BTreeSet<u64> = out.sheds.iter().map(|&(id, _)| id).collect();
+    let present: BTreeSet<u64> = out.digests.iter().map(|r| r.seq).collect();
+    for seq in 0..frames.len() as u64 {
+        if !present.contains(&seq) {
+            let mf = seq / batch_size as u64;
+            assert!(
+                shed_mfs.contains(&mf),
+                "seq {seq} vanished without its micro-flow {mf} being shed"
+            );
+        }
+    }
+    // Whole batches only: a shed micro-flow delivers nothing.
+    for r in &out.digests {
+        let mf = r.seq / batch_size as u64;
+        assert!(!shed_mfs.contains(&mf), "micro-flow {mf} was shed yet partially delivered");
+    }
+    shed_mfs
+}
+
+#[test]
+fn drop_tail_sheds_on_the_stalled_lane_and_accounts_every_packet() {
+    let frames = generate_frames(3000, 64);
+    let cfg = RuntimeConfig {
+        workers: 3,
+        batch_size: 30,
+        queue_depth: 2,
+        backpressure: BackpressurePolicy::DropTail { budget: u64::MAX },
+        high_watermark: Some(1),
+        inline_fallback: false,
+    };
+    let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(10)).unwrap();
+
+    let shed_mfs = check_accounting(&frames, cfg.batch_size, &out);
+    assert!(out.shed_packets > 0, "a 10 ms/batch stall never tripped the watermark");
+    assert!(out.backpressure_events > 0);
+    assert_eq!(out.block_fallbacks, 0, "unlimited budget must never fall back to blocking");
+    assert!(
+        out.sheds.iter().any(|&(_, lane)| lane == 0),
+        "no shed attributed to the stalled lane: {:?}",
+        out.sheds
+    );
+    for &(_, lane) in &out.sheds {
+        assert!(lane < cfg.workers, "shed attributed to non-primary lane {lane}");
+    }
+    // Shedding decouples the run from the stalled worker: the whole run
+    // must finish in a bounded handful of stall periods, not one per
+    // batch routed at lane 0.
+    assert!(
+        out.elapsed < Duration::from_secs(5),
+        "run serialized behind the stalled lane: {:?} for {} sheds",
+        out.elapsed,
+        shed_mfs.len()
+    );
+}
+
+#[test]
+fn inline_under_sustained_stall_is_exact_in_order_and_dupfree() {
+    let frames = generate_frames(2000, 64);
+    let cfg = RuntimeConfig {
+        workers: 3,
+        batch_size: 16,
+        queue_depth: 2,
+        backpressure: BackpressurePolicy::Inline,
+        high_watermark: Some(1),
+        inline_fallback: false,
+    };
+    let serial = process_serial(&frames);
+    let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(5)).unwrap();
+    assert_eq!(out.digests, serial.digests, "inline fallback lost, reordered or duplicated");
+    assert_eq!(out.shed_packets, 0);
+    assert!(out.inline_batches > 0, "the stall never pushed a batch inline");
+    assert!(out.inline_packets >= out.inline_batches, "inline batches must carry packets");
+    assert!(out.flushed_mfs.is_empty(), "nothing was lost, nothing to flush");
+}
+
+#[test]
+fn drop_tail_budget_exhaustion_falls_back_inline_when_asked() {
+    let frames = generate_frames(3000, 64);
+    let budget = 60; // exactly two 30-packet batches
+    let cfg = RuntimeConfig {
+        workers: 3,
+        batch_size: 30,
+        queue_depth: 2,
+        backpressure: BackpressurePolicy::DropTail { budget },
+        high_watermark: Some(1),
+        inline_fallback: true,
+    };
+    let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(10)).unwrap();
+    check_accounting(&frames, cfg.batch_size, &out);
+    assert!(out.shed_packets <= budget, "shed past the budget");
+    assert!(
+        out.inline_batches > 0,
+        "budget exhausted under a sustained stall but nothing went inline"
+    );
+    assert_eq!(out.block_fallbacks, 0, "inline fallback was configured");
+}
+
+#[test]
+fn drop_tail_without_fallback_blocks_after_budget_and_loses_nothing_more() {
+    let frames = generate_frames(3000, 64);
+    let budget = 60;
+    let cfg = RuntimeConfig {
+        workers: 3,
+        batch_size: 30,
+        queue_depth: 2,
+        backpressure: BackpressurePolicy::DropTail { budget },
+        high_watermark: Some(1),
+        inline_fallback: false,
+    };
+    let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(2)).unwrap();
+    check_accounting(&frames, cfg.batch_size, &out);
+    assert!(out.shed_packets <= budget);
+    if out.shed_packets == budget {
+        assert!(out.block_fallbacks > 0, "budget gone, pressure still on, never blocked");
+    }
+}
+
+#[test]
+fn slow_consumer_with_block_policy_stays_lossless() {
+    use mflow_runtime::SlowWorker;
+    let frames = generate_frames(4000, 64);
+    let cfg = RuntimeConfig {
+        workers: 4,
+        batch_size: 32,
+        queue_depth: 2,
+        backpressure: BackpressurePolicy::Block,
+        high_watermark: Some(2),
+        inline_fallback: false,
+    };
+    let mut faults = RuntimeFaults::none();
+    faults.slow_worker = Some(SlowWorker { worker: 1, per_batch_us: 200 });
+    faults.flush_timeout_ms = Some(250);
+    let serial = process_serial(&frames);
+    let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+    assert_eq!(out.digests, serial.digests);
+    assert_eq!(out.shed_packets, 0);
+    assert_eq!(out.inline_batches, 0);
+}

@@ -18,8 +18,10 @@ fn real_threads_preserve_byte_exact_order() {
                 workers,
                 batch_size: 256,
                 queue_depth: 8,
+                ..RuntimeConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(out.digests, serial.digests, "{workers} workers diverged");
     }
 }
@@ -36,8 +38,10 @@ fn runtime_disorder_grows_as_batches_shrink() {
             workers: 4,
             batch_size: frames.len(),
             queue_depth: 64,
+            ..RuntimeConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(one_batch.ooo_at_merge, 0);
     let tiny = process_parallel(
         &frames,
@@ -45,8 +49,10 @@ fn runtime_disorder_grows_as_batches_shrink() {
             workers: 4,
             batch_size: 1,
             queue_depth: 64,
+            ..RuntimeConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert!(tiny.ooo_at_merge > 0, "1-packet batches over 4 workers never interleaved");
 }
 

@@ -194,6 +194,84 @@ proptest! {
     }
 }
 
+mod backpressure_accounting {
+    use super::*;
+    use mflow_runtime::{
+        generate_frames, process_parallel_faulty, BackpressurePolicy, LaneStall, RuntimeConfig,
+        RuntimeFaults,
+    };
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn shed_plus_delivered_plus_flushed_equals_offered_under_every_policy(
+            n in 50usize..600,
+            workers in 2usize..5,
+            batch in 1usize..48,
+            depth in 1usize..4,
+            watermark in 1usize..4,
+            policy_sel in 0usize..3,
+        ) {
+            // Pressure a lane with a sustained stall and check the
+            // conservation law of the overload model: every offered
+            // packet ends up delivered, shed (whole micro-flows, with a
+            // lane attributed), or inside a flushed micro-flow — under
+            // Block, DropTail and Inline alike.
+            let policy = match policy_sel {
+                0 => BackpressurePolicy::Block,
+                1 => BackpressurePolicy::DropTail { budget: u64::MAX },
+                _ => BackpressurePolicy::Inline,
+            };
+            let frames = generate_frames(n, 32);
+            let cfg = RuntimeConfig {
+                workers,
+                batch_size: batch,
+                queue_depth: depth,
+                backpressure: policy,
+                high_watermark: Some(watermark.min(depth)),
+                inline_fallback: false,
+            };
+            let mut faults = RuntimeFaults::none();
+            faults.lane_stall = Some(LaneStall { worker: 0, ms: 1 });
+            faults.flush_timeout_ms = Some(100);
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+
+            // Conservation: nothing vanishes unaccounted.
+            prop_assert_eq!(
+                out.digests.len() as u64 + out.shed_packets,
+                n as u64,
+                "delivered + shed != offered"
+            );
+            let shed_mfs: std::collections::BTreeSet<u64> =
+                out.sheds.iter().map(|&(id, _)| id).collect();
+            let present: std::collections::BTreeSet<u64> =
+                out.digests.iter().map(|r| r.seq).collect();
+            for seq in 0..n as u64 {
+                if !present.contains(&seq) {
+                    let mf = seq / batch as u64;
+                    prop_assert!(
+                        shed_mfs.contains(&mf),
+                        "seq {} missing but micro-flow {} never shed",
+                        seq, mf
+                    );
+                }
+            }
+            for pair in out.digests.windows(2) {
+                prop_assert!(pair[0].seq < pair[1].seq, "inversion or duplicate");
+            }
+            // Lossless policies must not shed, period.
+            if !matches!(policy, BackpressurePolicy::DropTail { .. }) {
+                prop_assert_eq!(out.shed_packets, 0);
+                prop_assert_eq!(out.digests.len(), n);
+            }
+            for &(_, lane) in &out.sheds {
+                prop_assert!(lane < workers, "shed attributed to non-primary lane {}", lane);
+            }
+        }
+    }
+}
+
 /// SplitMix64 over one key (deterministic, order-independent draws).
 fn splitmix(seed: u64, k: u64) -> u64 {
     let mut x = seed

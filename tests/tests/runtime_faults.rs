@@ -60,7 +60,7 @@ fn check_degraded(
     let reference: BTreeMap<u64, u64> = serial.digests.iter().map(|r| (r.seq, r.digest)).collect();
     let (dropped, mf_of) = replay_dispatch(frames.len(), cfg.batch_size, faults);
 
-    let out = process_parallel_faulty(frames, cfg, faults);
+    let out = process_parallel_faulty(frames, cfg, faults).unwrap();
 
     // Strictly ordered and duplicate-free, every digest correct.
     for pair in out.digests.windows(2) {
@@ -121,6 +121,7 @@ fn stress_matrix_survives_loss_dups_lates_stalls_and_a_killed_worker() {
             workers,
             batch_size,
             queue_depth,
+            ..RuntimeConfig::default()
         };
         let faults = RuntimeFaults {
             seed: 0xBEEF ^ i as u64,
@@ -136,6 +137,7 @@ fn stress_matrix_survives_loss_dups_lates_stalls_and_a_killed_worker() {
                 after_batches: 4,
             }),
             flush_timeout_ms: Some(40),
+            ..RuntimeFaults::none()
         };
         let out = check_degraded(&frames, &cfg, &faults);
         assert!(
@@ -158,6 +160,7 @@ fn killed_worker_is_reported_and_its_queue_redispatched() {
         workers: 2,
         batch_size: 16,
         queue_depth: 2,
+        ..RuntimeConfig::default()
     };
     let mut faults = RuntimeFaults::none();
     faults.kill = Some(WorkerKill {
@@ -182,6 +185,7 @@ fn losing_every_batch_closer_flushes_every_microflow_exactly() {
         workers: 3,
         batch_size: 8,
         queue_depth: 4,
+        ..RuntimeConfig::default()
     };
     let mut faults = RuntimeFaults::none();
     faults.drop_last_rate = 1.0;
@@ -215,6 +219,7 @@ fn duplicated_microflows_are_rejected_and_output_is_exact() {
         workers: 3,
         batch_size: 10,
         queue_depth: 4,
+        ..RuntimeConfig::default()
     };
     let mut faults = RuntimeFaults::none();
     faults.dup_mf_rate = 1.0;
