@@ -13,8 +13,8 @@ use mflow_netstack::{
     FaultConfig, FlowSpec, NoiseConfig, StackConfig, StackSim, Transport,
 };
 use mflow_runtime::{
-    generate_frames, process_parallel_faulty, BackpressurePolicy, LaneStall, RuntimeConfig,
-    RuntimeFaults, SlowWorker,
+    generate_frames, process_parallel, process_parallel_faulty, BackpressurePolicy, LaneStall,
+    RuntimeConfig, RuntimeFaults, SlowWorker, Transport as RtTransport,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -46,6 +46,12 @@ struct Args {
     inline_fallback: bool,
     high_watermark: Option<usize>,
     rt_faults: RuntimeFaults,
+    rt_transport: RtTransport,
+    merger_depth: usize,
+    // Transport-comparison bench mode.
+    bench_transport: bool,
+    bench_out: String,
+    bench_enforce: bool,
 }
 
 fn usage() -> ! {
@@ -62,7 +68,10 @@ fn usage() -> ! {
          \x20                [--backpressure block|drop-tail|inline] [--drop-budget PKTS]\n\
          \x20                [--inline-fallback] [--high-watermark DEPTH]\n\
          \x20                [--fault-lane-stall WORKER:MS] [--fault-slow-worker WORKER:US]\n\
-         \x20                [--flush-timeout-ms MS]"
+         \x20                [--flush-timeout-ms MS] [--rt-transport mpsc|ring]\n\
+         \x20                [--merger-depth RESULTS]\n\
+         \x20  bench mode:   --bench-transport [--frames N] [--bench-out PATH]\n\
+         \x20                [--bench-enforce]"
     );
     std::process::exit(2);
 }
@@ -92,6 +101,11 @@ fn parse_args() -> Args {
         inline_fallback: false,
         high_watermark: None,
         rt_faults: RuntimeFaults::none(),
+        rt_transport: RtTransport::Mpsc,
+        merger_depth: RuntimeConfig::default().merger_depth,
+        bench_transport: false,
+        bench_out: "BENCH_runtime_parallel.json".to_string(),
+        bench_enforce: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -211,6 +225,22 @@ fn parse_args() -> Args {
                 args.rt_faults.flush_timeout_ms =
                     Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--rt-transport" => {
+                args.rt_transport = match value(&mut i).as_str() {
+                    "mpsc" => RtTransport::Mpsc,
+                    "ring" => RtTransport::Ring,
+                    other => {
+                        eprintln!("unknown runtime transport '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--merger-depth" => {
+                args.merger_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--bench-transport" => args.bench_transport = true,
+            "--bench-out" => args.bench_out = value(&mut i),
+            "--bench-enforce" => args.bench_enforce = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -238,6 +268,8 @@ fn run_runtime(a: &Args) {
         backpressure: policy,
         high_watermark: a.high_watermark,
         inline_fallback: a.inline_fallback,
+        transport: a.rt_transport,
+        merger_depth: a.merger_depth,
     };
     let frames = generate_frames(a.frames, 1400);
     let out = match process_parallel_faulty(&frames, &cfg, &a.rt_faults) {
@@ -250,11 +282,12 @@ fn run_runtime(a: &Args) {
     let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
     let secs = out.elapsed.as_secs_f64();
     println!(
-        "runtime: {} workers x {} batch (depth {}, policy {:?}) — {:.2} Gbps over {} frames in {:.1} ms",
+        "runtime: {} workers x {} batch (depth {}, policy {:?}, transport {:?}) — {:.2} Gbps over {} frames in {:.1} ms",
         a.workers,
         a.batch,
         a.queue_depth,
         policy,
+        a.rt_transport,
         bytes as f64 * 8.0 / secs / 1e9,
         a.frames,
         secs * 1e3,
@@ -283,8 +316,150 @@ fn run_runtime(a: &Args) {
     );
 }
 
+/// One measured point of the transport sweep.
+struct BenchPoint {
+    workers: usize,
+    batch: usize,
+    transport: RtTransport,
+    best_ns: u128,
+    mean_ns: u128,
+    gbps: f64,
+    mpps: f64,
+}
+
+/// `--bench-transport`: sweep {workers} x {batch} x {transport} over the
+/// fault-free pipeline and write the results as JSON (hand-serialized —
+/// the workspace is dependency-free). Each point reports best-of-K
+/// wall time; throughput derives from the best run, the standard way to
+/// strip scheduler noise from a short benchmark.
+///
+/// With `--bench-enforce` the process exits nonzero if the ring
+/// transport is more than 10% slower than mpsc at the reference point
+/// {4 workers, batch 32} — the CI regression gate for the lock-free
+/// path.
+fn run_bench_transport(a: &Args) {
+    const PAYLOAD: usize = 256;
+    const WORKERS: [usize; 3] = [1, 2, 4];
+    const BATCHES: [usize; 3] = [8, 32, 256];
+    const TRANSPORTS: [RtTransport; 2] = [RtTransport::Mpsc, RtTransport::Ring];
+    const ITERS: usize = 5;
+
+    let n_frames = a.frames;
+    let frames = generate_frames(n_frames, PAYLOAD);
+    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let mut points: Vec<BenchPoint> = Vec::new();
+    for workers in WORKERS {
+        for batch in BATCHES {
+            for transport in TRANSPORTS {
+                let cfg = RuntimeConfig {
+                    workers,
+                    batch_size: batch,
+                    queue_depth: 8,
+                    transport,
+                    ..RuntimeConfig::default()
+                };
+                // One warmup run pages everything in, then K timed runs.
+                let out = process_parallel(&frames, &cfg).expect("bench config must be valid");
+                assert_eq!(out.digests.len(), n_frames, "bench run lost packets");
+                let mut best_ns = u128::MAX;
+                let mut total_ns = 0u128;
+                for _ in 0..ITERS {
+                    let ns = process_parallel(&frames, &cfg)
+                        .expect("bench config must be valid")
+                        .elapsed
+                        .as_nanos();
+                    best_ns = best_ns.min(ns);
+                    total_ns += ns;
+                }
+                let secs = best_ns as f64 / 1e9;
+                let point = BenchPoint {
+                    workers,
+                    batch,
+                    transport,
+                    best_ns,
+                    mean_ns: total_ns / ITERS as u128,
+                    gbps: bytes as f64 * 8.0 / secs / 1e9,
+                    mpps: n_frames as f64 / secs / 1e6,
+                };
+                println!(
+                    "bench: w={} b={:<4} {:<5} best {:>9} ns  mean {:>9} ns  {:.2} Gbps  {:.2} Mpps",
+                    point.workers,
+                    point.batch,
+                    format!("{:?}", point.transport).to_lowercase(),
+                    point.best_ns,
+                    point.mean_ns,
+                    point.gbps,
+                    point.mpps,
+                );
+                points.push(point);
+            }
+        }
+    }
+
+    // The CI reference point: ring vs mpsc at {4 workers, batch 32}.
+    let best_at = |transport: RtTransport| {
+        points
+            .iter()
+            .find(|p| p.workers == 4 && p.batch == 32 && p.transport == transport)
+            .map(|p| p.best_ns)
+            .expect("sweep covers the reference point")
+    };
+    let mpsc_ns = best_at(RtTransport::Mpsc);
+    let ring_ns = best_at(RtTransport::Ring);
+    let ratio = ring_ns as f64 / mpsc_ns as f64;
+    let pass = ratio <= 1.10;
+    println!(
+        "gate @ w=4 b=32: ring/mpsc time ratio {:.3} ({}; threshold 1.10)",
+        ratio,
+        if pass { "pass" } else { "FAIL" }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"runtime_parallel\",\n");
+    json.push_str(&format!("  \"frames\": {n_frames},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {PAYLOAD},\n"));
+    json.push_str(&format!("  \"bytes_per_run\": {bytes},\n"));
+    json.push_str(&format!("  \"iters_per_point\": {ITERS},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"batch\": {}, \"transport\": \"{}\", \"best_ns\": {}, \"mean_ns\": {}, \"gbps\": {:.4}, \"mpps\": {:.4}}}{}\n",
+            p.workers,
+            p.batch,
+            format!("{:?}", p.transport).to_lowercase(),
+            p.best_ns,
+            p.mean_ns,
+            p.gbps,
+            p.mpps,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"gate\": {{\"workers\": 4, \"batch\": 32, \"mpsc_best_ns\": {mpsc_ns}, \"ring_best_ns\": {ring_ns}, \"ring_over_mpsc_time\": {ratio:.4}, \"threshold\": 1.10, \"pass\": {pass}}}\n",
+    ));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&a.bench_out, &json) {
+        eprintln!("failed to write {}: {e}", a.bench_out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", a.bench_out);
+    if a.bench_enforce && !pass {
+        eprintln!(
+            "bench gate failed: ring transport is {:.1}% slower than mpsc at w=4 b=32",
+            (ratio - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let a = parse_args();
+    if a.bench_transport {
+        run_bench_transport(&a);
+        return;
+    }
     if a.runtime {
         run_runtime(&a);
         return;

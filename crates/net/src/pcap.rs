@@ -59,9 +59,20 @@ impl<W: Write> PcapWriter<W> {
 /// Timestamped raw frames: `(ts_ns, frame)` pairs.
 pub type PcapRecords = Vec<(u64, Vec<u8>)>;
 
+/// Largest per-record capture length accepted, mirroring libpcap's
+/// sanity guard: a `caplen` beyond this is a corrupt header, not a big
+/// packet, and is rejected before any allocation is sized from it.
+const MAX_CAPLEN: usize = 0x0400_0000; // 64 MiB
+
 /// Parses the global header of a pcap byte stream, returning `(version,
 /// linktype, records)` where records are `(ts_ns, frame)` pairs. Used by
 /// the round-trip tests; not a general-purpose reader.
+///
+/// Total: no byte stream panics this function. Malformed input —
+/// wrong magic, absurd `caplen` — is [`ParseError::Malformed`]; any
+/// prefix of a valid capture that ends inside a record header or body is
+/// [`ParseError::Truncated`]. All offset arithmetic is checked, so a
+/// `caplen` near `usize::MAX` cannot wrap a bounds test into passing.
 pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, PcapRecords), crate::ParseError> {
     use crate::ParseError;
     if data.len() < 24 {
@@ -74,17 +85,27 @@ pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, PcapRecords), crate::ParseEr
     let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
     let linktype = u32::from_le_bytes(data[20..24].try_into().unwrap());
     let mut records = Vec::new();
-    let mut off = 24;
-    while off + 16 <= data.len() {
+    let mut off = 24usize;
+    while off < data.len() {
+        // A capture may not end inside a record header: that is a
+        // truncated record, not a clean end of stream.
+        let hdr_end = off.checked_add(16).ok_or(ParseError::Truncated)?;
+        if hdr_end > data.len() {
+            return Err(ParseError::Truncated);
+        }
         let secs = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as u64;
         let usecs = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()) as u64;
         let caplen = u32::from_le_bytes(data[off + 8..off + 12].try_into().unwrap()) as usize;
-        off += 16;
-        if off + caplen > data.len() {
+        if caplen > MAX_CAPLEN {
+            return Err(ParseError::Malformed("pcap caplen"));
+        }
+        off = hdr_end;
+        let body_end = off.checked_add(caplen).ok_or(ParseError::Truncated)?;
+        if body_end > data.len() {
             return Err(ParseError::Truncated);
         }
-        records.push((secs * 1_000_000_000 + usecs * 1_000, data[off..off + caplen].to_vec()));
-        off += caplen;
+        records.push((secs * 1_000_000_000 + usecs * 1_000, data[off..body_end].to_vec()));
+        off = body_end;
     }
     Ok((version, linktype, records))
 }
@@ -145,5 +166,55 @@ mod tests {
         w.write_frame(0, &[1, 2, 3, 4]).unwrap();
         let bytes = w.finish().unwrap();
         assert!(parse_pcap(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn trailing_partial_record_header_rejected() {
+        // A capture cut inside a record *header* (not just the body) is
+        // truncated, not a clean end of stream.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(0, &[9; 8]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.extend_from_slice(&[0u8; 7]); // 7 of 16 header bytes
+        assert_eq!(
+            parse_pcap(&bytes),
+            Err(crate::ParseError::Truncated),
+            "partial trailing header must not be silently ignored"
+        );
+    }
+
+    #[test]
+    fn absurd_caplen_rejected_as_malformed() {
+        // caplen = u32::MAX: with unchecked arithmetic `off + caplen`
+        // this is the overflow-to-small-panic edge; it must be reported
+        // as malformed, never indexed.
+        let mut bytes = PcapWriter::new(Vec::new()).unwrap().finish().unwrap();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // secs
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // usecs
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // caplen
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // origlen
+        assert_eq!(
+            parse_pcap(&bytes),
+            Err(crate::ParseError::Malformed("pcap caplen"))
+        );
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_capture_is_error_or_shorter() {
+        // Deterministic companion to the proptest in
+        // `tests/pcap_truncation.rs`: every byte-prefix either errors or
+        // yields a prefix of the record list.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..4u8 {
+            w.write_frame(i as u64 * 1_000, &vec![i; 3 + i as usize * 5]).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let full = parse_pcap(&bytes).unwrap().2;
+        for cut in 0..bytes.len() {
+            if let Ok((_, _, records)) = parse_pcap(&bytes[..cut]) {
+                assert!(records.len() <= full.len());
+                assert_eq!(records[..], full[..records.len()]);
+            }
+        }
     }
 }

@@ -1,0 +1,60 @@
+//! Property tests for `parse_pcap` hardening: no byte stream — valid,
+//! truncated at any offset, or bit-corrupted — may panic the parser. A
+//! truncated prefix of a valid capture must either error or return a
+//! prefix of the original record list; it must never invent records.
+
+use mflow_net::pcap::{parse_pcap, PcapWriter};
+use proptest::prelude::*;
+
+/// Builds a valid capture with `lens.len()` records of the given payload
+/// lengths.
+fn capture(lens: &[usize]) -> Vec<u8> {
+    let mut w = PcapWriter::new(Vec::new()).unwrap();
+    for (i, &len) in lens.iter().enumerate() {
+        w.write_frame(i as u64 * 1_000, &vec![i as u8; len]).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn truncation_at_every_offset_never_panics(
+        lens in prop::collection::vec(0usize..200, 0..8),
+    ) {
+        let bytes = capture(&lens);
+        let full = parse_pcap(&bytes).unwrap().2;
+        prop_assert_eq!(full.len(), lens.len());
+        // Every prefix, byte by byte: error or a shorter (prefix) list.
+        for cut in 0..=bytes.len() {
+            if let Ok((version, _, records)) = parse_pcap(&bytes[..cut]) {
+                prop_assert_eq!(version, 2);
+                prop_assert!(records.len() <= full.len());
+                prop_assert_eq!(&records[..], &full[..records.len()]);
+                // A successful parse of a strict prefix can only happen
+                // at a record boundary.
+                if cut < bytes.len() {
+                    prop_assert!(records.len() < full.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_captures_never_panic(
+        lens in prop::collection::vec(0usize..64, 1..5),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        // Overwrite one arbitrary byte (headers included): the parser may
+        // reject or misread, but must return rather than panic.
+        let mut bytes = capture(&lens);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] = byte;
+        let _ = parse_pcap(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_pcap(&data);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod faults;
 pub mod packet;
 pub mod pipeline;
+pub mod ring;
 pub mod work;
 
 pub use faults::{LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
@@ -31,6 +32,6 @@ pub use mflow_error::MflowError;
 pub use packet::{generate_frames, Frame};
 pub use pipeline::{
     process_parallel, process_parallel_faulty, process_serial, BackpressurePolicy, RunOutput,
-    RuntimeConfig,
+    RuntimeConfig, Transport,
 };
 pub use work::{process_frame, PacketResult};

@@ -9,10 +9,28 @@
 //! ```
 //!
 //! The dispatcher assigns micro-flows of `batch_size` consecutive frames
-//! round-robin to workers over bounded SPSC channels; each worker performs
+//! round-robin to workers over bounded SPSC lanes; each worker performs
 //! the full per-packet work; the merger restores the original order with
 //! the merging-counter algorithm. Workers run genuinely concurrently, so
 //! the merger sees every interleaving a real kernel would.
+//!
+//! # Transports
+//!
+//! Every lane — dispatcher→worker and worker→merger — runs over one of
+//! two interchangeable transports ([`RuntimeConfig::transport`]):
+//!
+//! * [`Transport::Mpsc`] — `std::sync::mpsc::sync_channel`, i.e.
+//!   mutex+condvar handoff. The original implementation, kept as the
+//!   differential-testing baseline.
+//! * [`Transport::Ring`] — the in-tree lock-free SPSC rings of
+//!   [`crate::ring`], the userspace analogue of the paper's per-core
+//!   packet-request ring buffers: atomic head/tail, batch-granular
+//!   publishes, spin-then-park waiting. The merge path becomes one ring
+//!   per producer (each worker plus the dispatcher's inline lane) fanned
+//!   into a round-robin mux.
+//!
+//! Both transports preserve the same per-lane FIFO and disconnect
+//! semantics, so the fault-recovery machinery below is transport-blind.
 //!
 //! # Degradation under faults
 //!
@@ -24,7 +42,10 @@
 //!   redispatched to surviving workers. Redispatched copies ride fresh
 //!   *recovery lanes* (`n_workers + k`) so the merger's per-lane FIFO
 //!   assumption is never violated; copies of already-merged batches are
-//!   rejected as duplicates.
+//!   rejected as duplicates. A dead lane's queue-depth counter is zeroed
+//!   the moment the death is discovered (and again at join for deaths the
+//!   dispatcher never observed), so occupancy signals never count batches
+//!   nobody will dequeue.
 //! * **Loss** — a micro-flow that never completes stalls the merging
 //!   counter; the merger flushes past it after
 //!   [`RuntimeFaults::flush_timeout_ms`] without arrivals, and again at
@@ -49,7 +70,19 @@ use mflow_error::MflowError;
 
 use crate::faults::RuntimeFaults;
 use crate::packet::Frame;
+use crate::ring::{self, MuxRecvError, RingConsumer, RingMux, RingProducer, RingSendError};
 use crate::work::{process_frame, PacketResult};
+
+/// Which cross-core handoff primitive carries batches and results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// `std::sync::mpsc::sync_channel` — mutex+condvar (the baseline).
+    #[default]
+    Mpsc,
+    /// Lock-free SPSC request rings ([`crate::ring`]), per the paper's
+    /// IRQ-splitting design.
+    Ring,
+}
 
 /// What the dispatcher does when a lane is at its watermark (or its queue
 /// is outright full).
@@ -98,6 +131,13 @@ pub struct RuntimeConfig {
     /// With `DropTail`: once the shed budget is exhausted, process
     /// overflow batches inline instead of blocking.
     pub inline_fallback: bool,
+    /// Cross-core handoff primitive for every lane.
+    pub transport: Transport,
+    /// Worker→merger queue capacity in results. Power of two (the ring
+    /// transport masks indices with it); under `Mpsc` it is the shared
+    /// channel's bound, under `Ring` each producer's ring holds this
+    /// many.
+    pub merger_depth: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -109,6 +149,8 @@ impl Default for RuntimeConfig {
             backpressure: BackpressurePolicy::Block,
             high_watermark: None,
             inline_fallback: false,
+            transport: Transport::Mpsc,
+            merger_depth: 4096,
         }
     }
 }
@@ -133,6 +175,12 @@ impl RuntimeConfig {
                     "must be between 1 and queue_depth",
                 ));
             }
+        }
+        if self.merger_depth < 1 || !self.merger_depth.is_power_of_two() {
+            return Err(MflowError::invalid(
+                "merger_depth",
+                "must be a nonzero power of two",
+            ));
         }
         Ok(())
     }
@@ -179,6 +227,11 @@ pub struct RunOutput {
     /// Times the backpressure policy engaged (watermark hit or queue
     /// full), regardless of what it then did.
     pub backpressure_events: u64,
+    /// End-of-run per-lane queue depths. All zero for every completed
+    /// parallel run: live lanes drain to empty, dead lanes are zeroed
+    /// when the death is discovered. (Empty for serial runs, which have
+    /// no lanes.)
+    pub lane_depths: Vec<usize>,
 }
 
 impl RunOutput {
@@ -200,6 +253,7 @@ impl RunOutput {
             inline_packets: 0,
             block_fallbacks: 0,
             backpressure_events: 0,
+            lane_depths: Vec::new(),
         }
     }
 }
@@ -213,10 +267,131 @@ pub fn process_serial(frames: &[Frame]) -> RunOutput {
 
 /// One micro-flow's tagged frames, as sent to a worker.
 type Batch = Vec<(MfTag, Frame)>;
+/// One processed packet, as sent to the merger.
+type Merged = (MfTag, PacketResult);
+
+/// Dispatcher-side sending half of one worker lane.
+enum LaneTx {
+    Mpsc(SyncSender<Batch>),
+    Ring(RingProducer<Batch>),
+}
+
+/// Outcome of a transport-level non-blocking send.
+enum LaneTrySend {
+    Sent,
+    Full(Batch),
+    Closed(Batch),
+}
+
+impl LaneTx {
+    /// Blocking send; hands the batch back when the worker is gone.
+    fn send(&mut self, batch: Batch) -> Result<(), Batch> {
+        match self {
+            LaneTx::Mpsc(tx) => tx.send(batch).map_err(|mpsc::SendError(b)| b),
+            LaneTx::Ring(tx) => tx.push(batch),
+        }
+    }
+
+    /// Non-blocking send.
+    fn try_send(&mut self, batch: Batch) -> LaneTrySend {
+        match self {
+            LaneTx::Mpsc(tx) => match tx.try_send(batch) {
+                Ok(()) => LaneTrySend::Sent,
+                Err(mpsc::TrySendError::Full(b)) => LaneTrySend::Full(b),
+                Err(mpsc::TrySendError::Disconnected(b)) => LaneTrySend::Closed(b),
+            },
+            LaneTx::Ring(tx) => match tx.try_push(batch) {
+                Ok(()) => LaneTrySend::Sent,
+                Err(RingSendError::Full(b)) => LaneTrySend::Full(b),
+                Err(RingSendError::Closed(b)) => LaneTrySend::Closed(b),
+            },
+        }
+    }
+}
+
+/// Worker-side receiving half of one lane.
+enum LaneRx {
+    Mpsc(mpsc::Receiver<Batch>),
+    Ring(RingConsumer<Batch>),
+}
+
+impl LaneRx {
+    /// Blocking receive; `None` once the dispatcher dropped its half and
+    /// the queue is drained.
+    fn recv(&mut self) -> Option<Batch> {
+        match self {
+            LaneRx::Mpsc(rx) => rx.recv().ok(),
+            LaneRx::Ring(rx) => rx.pop(),
+        }
+    }
+}
+
+/// A producer's (worker or dispatcher) half of the merge path.
+enum MergeTx {
+    Mpsc(SyncSender<Merged>),
+    Ring(RingProducer<Merged>),
+}
+
+impl MergeTx {
+    /// Sends one batch of results; `Err` when the merger is gone. The
+    /// ring publishes once per claimed stretch; mpsc once per item.
+    fn send_all(&mut self, results: Vec<Merged>) -> Result<(), ()> {
+        match self {
+            MergeTx::Mpsc(tx) => {
+                for item in results {
+                    tx.send(item).map_err(|_| ())?;
+                }
+                Ok(())
+            }
+            MergeTx::Ring(tx) => tx.push_all(results).map_err(|_| ()),
+        }
+    }
+}
+
+/// The merger's receiving end.
+enum MergeRx {
+    Mpsc(mpsc::Receiver<Merged>),
+    Ring(RingMux<Merged>),
+}
+
+/// Outcome of one merger receive.
+enum MergeRecv {
+    Item(Merged),
+    Timeout,
+    Disconnected,
+}
+
+impl MergeRx {
+    /// Receives one result, waiting at most `timeout` (forever if
+    /// `None`).
+    fn recv(&mut self, timeout: Option<Duration>) -> MergeRecv {
+        match self {
+            MergeRx::Mpsc(rx) => match timeout {
+                Some(t) => match rx.recv_timeout(t) {
+                    Ok(msg) => MergeRecv::Item(msg),
+                    Err(RecvTimeoutError::Timeout) => MergeRecv::Timeout,
+                    Err(RecvTimeoutError::Disconnected) => MergeRecv::Disconnected,
+                },
+                None => match rx.recv() {
+                    Ok(msg) => MergeRecv::Item(msg),
+                    Err(_) => MergeRecv::Disconnected,
+                },
+            },
+            MergeRx::Ring(mux) => {
+                let deadline = timeout.map(|t| Instant::now() + t);
+                match mux.recv_deadline(deadline) {
+                    Ok(msg) => MergeRecv::Item(msg),
+                    Err(MuxRecvError::Timeout) => MergeRecv::Timeout,
+                    Err(MuxRecvError::Disconnected) => MergeRecv::Disconnected,
+                }
+            }
+        }
+    }
+}
 
 /// Dispatcher-side view of one worker queue.
 struct Lane {
-    tx: Option<SyncSender<Batch>>,
+    tx: Option<LaneTx>,
     /// Copies of the most recently sent batches (faulty runs only): the
     /// batches that may still sit unprocessed in the queue when the
     /// worker dies, and must be redispatched. Capacity `queue_depth + 2`
@@ -295,13 +470,23 @@ impl<'a> Dispatcher<'a> {
         }
     }
 
+    /// Marks a lane dead and zeroes its depth counter: batches still
+    /// queued there will never be dequeued, so leaving the count in
+    /// place would feed phantom load into every aggregate-occupancy
+    /// signal (watermarks, engagement counters) for the rest of the run.
+    fn mark_dead(&mut self, lane: usize) -> VecDeque<Batch> {
+        self.lanes[lane].tx = None;
+        self.depths[lane].store(0, Ordering::Relaxed);
+        std::mem::take(&mut self.lanes[lane].recent)
+    }
+
     /// Sends `batch` to worker `lane`, redispatching on failure. Pending
     /// work is processed iteratively: a redispatch target may itself be
     /// dead, bouncing the batch again.
     fn send(&mut self, lane: usize, batch: Batch) {
         let mut pending: Vec<(usize, Batch, bool)> = vec![(lane, batch, false)];
         while let Some((lane, batch, is_recovery)) = pending.pop() {
-            let Some(tx) = &self.lanes[lane].tx else {
+            let Some(tx) = self.lanes[lane].tx.as_mut() else {
                 // Known-dead lane: reroute to a live worker directly.
                 if let Some(b) = self.reroute(batch, is_recovery) {
                     pending.push(b);
@@ -312,11 +497,10 @@ impl<'a> Dispatcher<'a> {
                 Ok(()) => {
                     self.depths[lane].fetch_add(1, Ordering::Relaxed);
                 }
-                Err(mpsc::SendError(batch)) => {
+                Err(batch) => {
                     // The worker died: everything it still held is lost.
                     // Redispatch its retained window plus this batch.
-                    self.lanes[lane].tx = None;
-                    let window = std::mem::take(&mut self.lanes[lane].recent);
+                    let window = self.mark_dead(lane);
                     for lost in window.into_iter().chain(std::iter::once(batch)) {
                         if let Some(b) = self.reroute(lost, is_recovery) {
                             pending.push(b);
@@ -369,23 +553,24 @@ impl<'a> Dispatcher<'a> {
     ///
     /// [`send`]: Dispatcher::send
     fn try_send_now(&mut self, lane: usize, batch: Batch) -> SendAttempt {
-        let Some(tx) = &self.lanes[lane].tx else {
+        if self.lanes[lane].tx.is_none() {
             // Known-dead lane: the blocking path already reroutes without
             // ever waiting.
             self.send(lane, batch);
             return SendAttempt::Sent;
-        };
+        }
         let copy = if self.retain > 0 { Some(batch.clone()) } else { None };
+        let tx = self.lanes[lane].tx.as_mut().expect("lane checked live");
         match tx.try_send(batch) {
-            Ok(()) => {
+            LaneTrySend::Sent => {
                 self.depths[lane].fetch_add(1, Ordering::Relaxed);
                 if let Some(c) = copy {
                     self.remember(lane, c);
                 }
                 SendAttempt::Sent
             }
-            Err(mpsc::TrySendError::Full(b)) => SendAttempt::Full(b),
-            Err(mpsc::TrySendError::Disconnected(b)) => {
+            LaneTrySend::Full(b) => SendAttempt::Full(b),
+            LaneTrySend::Closed(b) => {
                 // Route through the blocking path: its send error handler
                 // marks the lane dead and redispatches the retained
                 // window plus this batch.
@@ -499,10 +684,14 @@ pub fn process_parallel_faulty(
     let start = Instant::now();
     let n_workers = cfg.workers;
     // DropTail removes whole micro-flows from the stream, which stalls
-    // the merge counter exactly like injected loss does — so shedding
-    // policies get the flush deadline even in otherwise faultless runs.
-    let can_shed = matches!(cfg.backpressure, BackpressurePolicy::DropTail { .. });
-    let flush_timeout = if faults.is_active() || can_shed {
+    // the merge counter exactly like injected loss does, and any policy
+    // that can go inline (Inline itself, DropTail's inline fallback)
+    // retags batches onto recovery lanes whose arrivals may trail the
+    // primary lanes indefinitely — so every policy that sheds or creates
+    // recovery lanes gets the flush deadline even in otherwise faultless
+    // runs, not just DropTail.
+    let can_shed_or_recover = !matches!(cfg.backpressure, BackpressurePolicy::Block);
+    let flush_timeout = if faults.is_active() || can_shed_or_recover {
         faults.flush_timeout_ms.map(Duration::from_millis)
     } else {
         None
@@ -512,15 +701,45 @@ pub fn process_parallel_faulty(
     let mut lanes = Vec::with_capacity(n_workers);
     let mut lane_rx = Vec::with_capacity(n_workers);
     for _ in 0..n_workers {
-        let (tx, rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
-        lanes.push(Lane {
-            tx: Some(tx),
-            recent: VecDeque::new(),
-        });
-        lane_rx.push(rx);
+        match cfg.transport {
+            Transport::Mpsc => {
+                let (tx, rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
+                lanes.push(Lane {
+                    tx: Some(LaneTx::Mpsc(tx)),
+                    recent: VecDeque::new(),
+                });
+                lane_rx.push(LaneRx::Mpsc(rx));
+            }
+            Transport::Ring => {
+                let (tx, rx) = ring::spsc::<Batch>(cfg.queue_depth);
+                lanes.push(Lane {
+                    tx: Some(LaneTx::Ring(tx)),
+                    recent: VecDeque::new(),
+                });
+                lane_rx.push(LaneRx::Ring(rx));
+            }
+        }
     }
-    // Workers -> merger (MPSC).
-    let (merge_tx, merge_rx) = mpsc::sync_channel::<(MfTag, PacketResult)>(n_workers * 1024);
+    // Workers (plus the dispatcher's inline lane) -> merger: one shared
+    // MPSC channel, or one SPSC ring per producer fanned into a mux.
+    let mut worker_merge_tx: Vec<MergeTx> = Vec::with_capacity(n_workers);
+    let (dispatch_merge_tx, merge_rx) = match cfg.transport {
+        Transport::Mpsc => {
+            let (tx, rx) = mpsc::sync_channel::<Merged>(cfg.merger_depth);
+            for _ in 0..n_workers {
+                worker_merge_tx.push(MergeTx::Mpsc(tx.clone()));
+            }
+            (MergeTx::Mpsc(tx), MergeRx::Mpsc(rx))
+        }
+        Transport::Ring => {
+            let (mut txs, mux) = ring::ring_mux::<Merged>(n_workers + 1, cfg.merger_depth);
+            let dispatch = txs.pop().expect("n_workers + 1 rings");
+            for tx in txs {
+                worker_merge_tx.push(MergeTx::Ring(tx));
+            }
+            (MergeTx::Ring(dispatch), MergeRx::Ring(mux))
+        }
+    };
     // Per-lane queue depths, the watermark signal for backpressure.
     let depths: Vec<AtomicUsize> = (0..n_workers).map(|_| AtomicUsize::new(0)).collect();
     let depths = &depths;
@@ -528,12 +747,13 @@ pub fn process_parallel_faulty(
     let scope_out = thread::scope(|s| {
         // Workers: the "splitting cores".
         let mut handles = Vec::with_capacity(n_workers);
-        for (worker, rx) in lane_rx.into_iter().enumerate() {
-            let tx = merge_tx.clone();
+        for (worker, (mut rx, mut tx)) in
+            lane_rx.into_iter().zip(worker_merge_tx).enumerate()
+        {
             handles.push(s.spawn(move || {
-                for (processed, batch) in rx.into_iter().enumerate() {
+                let mut processed = 0u64;
+                while let Some(batch) = rx.recv() {
                     depths[worker].fetch_sub(1, Ordering::Relaxed);
-                    let processed = processed as u64;
                     if let Some(kill) = faults.kill {
                         if kill.worker == worker && processed >= kill.after_batches {
                             // The injected death: an abrupt panic that
@@ -557,40 +777,39 @@ pub fn process_parallel_faulty(
                             thread::sleep(Duration::from_millis(faults.stall_ms));
                         }
                     }
+                    // Whole-batch processing, whole-batch publish: one
+                    // merge-side handoff per micro-flow, not per packet.
+                    let mut results = Vec::with_capacity(batch.len());
                     for (tag, frame) in batch {
-                        let result = process_frame(&frame);
-                        if tx.send((tag, result)).is_err() {
-                            // Merger gone; nothing useful left to do.
-                            return;
-                        }
+                        results.push((tag, process_frame(&frame)));
                     }
+                    if tx.send_all(results).is_err() {
+                        // Merger gone; nothing useful left to do.
+                        return;
+                    }
+                    processed += 1;
                 }
             }));
         }
 
         // Merger thread: merging-counter reassembly with flush recovery.
         let merger = s.spawn(move || {
+            let mut merge_rx = merge_rx;
             let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
             let mut out = Vec::new();
             let mut max_seen: Option<u64> = None;
             let mut ooo = 0u64;
             loop {
-                let (tag, result) = match flush_timeout {
-                    Some(t) => match merge_rx.recv_timeout(t) {
-                        Ok(msg) => msg,
-                        Err(RecvTimeoutError::Timeout) => {
-                            // No arrivals for a full deadline: stop
-                            // waiting for whatever the counter is stuck
-                            // on and release parked successors.
-                            mc.flush_one(&mut out);
-                            continue;
-                        }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    },
-                    None => match merge_rx.recv() {
-                        Ok(msg) => msg,
-                        Err(_) => break,
-                    },
+                let (tag, result) = match merge_rx.recv(flush_timeout) {
+                    MergeRecv::Item(msg) => msg,
+                    MergeRecv::Timeout => {
+                        // No arrivals for a full deadline: stop waiting
+                        // for whatever the counter is stuck on and
+                        // release parked successors.
+                        mc.flush_one(&mut out);
+                        continue;
+                    }
+                    MergeRecv::Disconnected => break,
                 };
                 if let Some(m) = max_seen {
                     if result.seq < m {
@@ -611,20 +830,20 @@ pub fn process_parallel_faulty(
 
         // Dispatcher: this thread plays the IRQ core's first half.
         let mut d = Dispatcher::new(lanes, faults, cfg, depths);
+        let mut dispatch_tx = dispatch_merge_tx;
         // Batches the policy handed back are processed right here on the
         // dispatcher thread, retagged onto fresh recovery lanes so the
         // merger's per-lane FIFO assumption holds (earlier batches for
         // the original lane may still sit in the worker's queue).
-        let process_inline = |d: &mut Dispatcher<'_>, batch: Batch| {
+        let process_inline = |d: &mut Dispatcher<'_>, tx: &mut MergeTx, batch: Batch| {
             let batch = d.retag(batch);
             d.inline_batches += 1;
             d.inline_packets += batch.len() as u64;
+            let mut results = Vec::with_capacity(batch.len());
             for (tag, frame) in batch {
-                let result = process_frame(&frame);
-                if merge_tx.send((tag, result)).is_err() {
-                    return;
-                }
+                results.push((tag, process_frame(&frame)));
             }
+            let _ = tx.send_all(results);
         };
         let mut fault_drops = 0u64;
         let mut mf_id = 0u64;
@@ -651,7 +870,7 @@ pub fn process_parallel_faulty(
                         d.send_retained(lane, full.clone());
                         d.send_recovery(full);
                     } else if let Some(b) = d.offer(lane, full) {
-                        process_inline(&mut d, b);
+                        process_inline(&mut d, &mut dispatch_tx, b);
                     }
                 }
                 let due: Vec<Batch> = {
@@ -687,14 +906,22 @@ pub fn process_parallel_faulty(
         let redispatched = d.finish();
         // The dispatcher's merger sender goes last: with it gone, the
         // merger exits once the workers drain.
-        drop(merge_tx);
+        drop(dispatch_tx);
 
         // Join workers first (they feed the merger); injected deaths
-        // surface here as panics and are counted, not propagated.
-        let workers_died = handles
-            .into_iter()
-            .filter_map(|h| h.join().err())
-            .count();
+        // surface here as panics and are counted, not propagated. A
+        // death the dispatcher never observed (no send to that lane
+        // afterwards) still leaves queued batches undequeued, so zero
+        // the lane's depth here too.
+        let mut workers_died = 0usize;
+        for (worker, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                workers_died += 1;
+                depths[worker].store(0, Ordering::Relaxed);
+            }
+        }
+        let lane_depths: Vec<usize> =
+            depths.iter().map(|d| d.load(Ordering::Relaxed)).collect();
         let merged = match merger.join() {
             Ok(r) => r,
             // The merger has no injected faults: a panic there is a real
@@ -706,6 +933,7 @@ pub fn process_parallel_faulty(
             fault_drops,
             redispatched,
             workers_died,
+            lane_depths,
             (
                 shed_packets,
                 sheds,
@@ -716,7 +944,7 @@ pub fn process_parallel_faulty(
             ),
         ))
     });
-    let (out, fault_drops, redispatched, workers_died, bp) = scope_out?;
+    let (out, fault_drops, redispatched, workers_died, lane_depths, bp) = scope_out?;
     let (shed_packets, sheds, inline_batches, inline_packets, block_fallbacks, backpressure_events) =
         bp;
     if n_workers > 0 && workers_died == n_workers && !frames.is_empty() {
@@ -741,6 +969,7 @@ pub fn process_parallel_faulty(
         inline_packets,
         block_fallbacks,
         backpressure_events,
+        lane_depths,
     })
 }
 
@@ -750,14 +979,25 @@ mod tests {
     use crate::faults::WorkerKill;
     use crate::packet::generate_frames;
 
+    /// Both transports, for exercising every scenario over each.
+    const TRANSPORTS: [Transport; 2] = [Transport::Mpsc, Transport::Ring];
+
     fn run(n: usize, payload: usize, cfg: RuntimeConfig) {
         let frames = generate_frames(n, payload);
         let serial = process_serial(&frames);
-        let parallel = process_parallel(&frames, &cfg).unwrap();
-        assert_eq!(
-            serial.digests, parallel.digests,
-            "order or content diverged with {cfg:?}"
-        );
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig { transport, ..cfg };
+            let parallel = process_parallel(&frames, &cfg).unwrap();
+            assert_eq!(
+                serial.digests, parallel.digests,
+                "order or content diverged with {cfg:?}"
+            );
+            assert!(
+                parallel.lane_depths.iter().all(|&d| d == 0),
+                "stale end-of-run depths {:?} with {cfg:?}",
+                parallel.lane_depths
+            );
+        }
     }
 
     #[test]
@@ -809,9 +1049,15 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let out = process_parallel(&[], &RuntimeConfig::default()).unwrap();
-        assert!(out.digests.is_empty());
-        assert_eq!(out.ooo_at_merge, 0);
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                transport,
+                ..RuntimeConfig::default()
+            };
+            let out = process_parallel(&[], &cfg).unwrap();
+            assert!(out.digests.is_empty());
+            assert_eq!(out.ooo_at_merge, 0);
+        }
     }
 
     #[test]
@@ -835,50 +1081,60 @@ mod tests {
         // giant batch everything arrives in order. This is statistical on
         // real threads, so only the extreme ends are asserted.
         let frames = generate_frames(20_000, 64);
-        let small = process_parallel(
-            &frames,
-            &RuntimeConfig {
-                workers: 4,
-                batch_size: 1,
-                queue_depth: 64,
-                ..RuntimeConfig::default()
-            },
-        )
-        .unwrap();
-        let large = process_parallel(
-            &frames,
-            &RuntimeConfig {
-                workers: 4,
-                batch_size: 20_000,
-                queue_depth: 64,
-                ..RuntimeConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(large.ooo_at_merge, 0, "single batch cannot interleave");
-        assert!(
-            small.ooo_at_merge > 0,
-            "1-packet batches over 4 threads should interleave at least once"
-        );
+        for transport in TRANSPORTS {
+            let small = process_parallel(
+                &frames,
+                &RuntimeConfig {
+                    workers: 4,
+                    batch_size: 1,
+                    queue_depth: 64,
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            let large = process_parallel(
+                &frames,
+                &RuntimeConfig {
+                    workers: 4,
+                    batch_size: 20_000,
+                    queue_depth: 64,
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(large.ooo_at_merge, 0, "single batch cannot interleave");
+            assert!(
+                small.ooo_at_merge > 0,
+                "1-packet batches over 4 threads should interleave at least once ({transport:?})"
+            );
+        }
     }
 
     #[test]
     fn stress_repeated_runs_stay_correct() {
         let frames = generate_frames(3_000, 32);
         let reference = process_serial(&frames);
-        for workers in [2, 3, 5] {
-            for batch in [7, 97, 1024] {
-                let out = process_parallel(
-                    &frames,
-                    &RuntimeConfig {
-                        workers,
-                        batch_size: batch,
-                        queue_depth: 3,
-                        ..RuntimeConfig::default()
-                    },
-                )
-                .unwrap();
-                assert_eq!(out.digests, reference.digests, "w={workers} b={batch}");
+        for transport in TRANSPORTS {
+            for workers in [2, 3, 5] {
+                for batch in [7, 97, 1024] {
+                    let out = process_parallel(
+                        &frames,
+                        &RuntimeConfig {
+                            workers,
+                            batch_size: batch,
+                            queue_depth: 3,
+                            transport,
+                            ..RuntimeConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        out.digests, reference.digests,
+                        "w={workers} b={batch} t={transport:?}"
+                    );
+                }
             }
         }
     }
@@ -889,19 +1145,24 @@ mod tests {
         // plain pipeline: exact digests, no degradation counters.
         let frames = generate_frames(1_500, 64);
         let serial = process_serial(&frames);
-        let out = process_parallel_faulty(
-            &frames,
-            &RuntimeConfig::default(),
-            &RuntimeFaults::none(),
-        )
-        .unwrap();
-        assert_eq!(out.digests, serial.digests);
-        assert!(out.flushed_mfs.is_empty());
-        assert_eq!(out.fault_drops, 0);
-        assert_eq!(out.workers_died, 0);
-        assert_eq!(out.merge_residue, 0);
-        assert_eq!(out.shed_packets, 0);
-        assert_eq!(out.backpressure_events, 0);
+        for transport in TRANSPORTS {
+            let out = process_parallel_faulty(
+                &frames,
+                &RuntimeConfig {
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+                &RuntimeFaults::none(),
+            )
+            .unwrap();
+            assert_eq!(out.digests, serial.digests);
+            assert!(out.flushed_mfs.is_empty());
+            assert_eq!(out.fault_drops, 0);
+            assert_eq!(out.workers_died, 0);
+            assert_eq!(out.merge_residue, 0);
+            assert_eq!(out.shed_packets, 0);
+            assert_eq!(out.backpressure_events, 0);
+        }
     }
 
     #[test]
@@ -913,23 +1174,32 @@ mod tests {
             after_batches: 3,
         });
         faults.flush_timeout_ms = Some(50);
-        let out = process_parallel_faulty(
-            &frames,
-            &RuntimeConfig {
-                workers: 3,
-                batch_size: 64,
-                queue_depth: 4,
-                ..RuntimeConfig::default()
-            },
-            &faults,
-        )
-        .unwrap();
-        assert_eq!(out.workers_died, 1);
-        assert!(!out.digests.is_empty());
-        assert_eq!(out.merge_residue, 0, "end flush must empty the merger");
-        // Output must be a strictly ordered, duplicate-free subsequence.
-        for pair in out.digests.windows(2) {
-            assert!(pair[0].seq < pair[1].seq);
+        for transport in TRANSPORTS {
+            let out = process_parallel_faulty(
+                &frames,
+                &RuntimeConfig {
+                    workers: 3,
+                    batch_size: 64,
+                    queue_depth: 4,
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+                &faults,
+            )
+            .unwrap();
+            assert_eq!(out.workers_died, 1);
+            assert!(!out.digests.is_empty());
+            assert_eq!(out.merge_residue, 0, "end flush must empty the merger");
+            // The dead lane's counter must not report phantom load.
+            assert!(
+                out.lane_depths.iter().all(|&d| d == 0),
+                "stale depth after worker death: {:?} ({transport:?})",
+                out.lane_depths
+            );
+            // Output must be a strictly ordered, duplicate-free subsequence.
+            for pair in out.digests.windows(2) {
+                assert!(pair[0].seq < pair[1].seq);
+            }
         }
     }
 
@@ -964,6 +1234,55 @@ mod tests {
     }
 
     #[test]
+    fn bad_merger_depth_rejected() {
+        // Zero and non-power-of-two both fail validation, under either
+        // transport (the bound must mean the same thing when the config
+        // is flipped between them).
+        for transport in TRANSPORTS {
+            for depth in [0usize, 3, 1000, 4097] {
+                let cfg = RuntimeConfig {
+                    merger_depth: depth,
+                    transport,
+                    ..RuntimeConfig::default()
+                };
+                let err = process_parallel(&[], &cfg).unwrap_err();
+                assert_eq!(err.field(), Some("merger_depth"), "depth {depth}");
+            }
+            for depth in [1usize, 2, 1024, 65_536] {
+                let cfg = RuntimeConfig {
+                    merger_depth: depth,
+                    transport,
+                    ..RuntimeConfig::default()
+                };
+                assert!(cfg.validate().is_ok(), "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_merger_depth_still_completes() {
+        // merger_depth 1 forces maximal producer-side waiting — the
+        // deepest spin-then-park coverage the ring path can get.
+        let frames = generate_frames(600, 32);
+        let serial = process_serial(&frames);
+        for transport in TRANSPORTS {
+            let out = process_parallel(
+                &frames,
+                &RuntimeConfig {
+                    workers: 3,
+                    batch_size: 16,
+                    queue_depth: 2,
+                    merger_depth: 1,
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.digests, serial.digests, "{transport:?}");
+        }
+    }
+
+    #[test]
     fn out_of_range_watermark_rejected() {
         for w in [0, 9] {
             let cfg = RuntimeConfig {
@@ -990,21 +1309,24 @@ mod tests {
         // thread and the output must still equal the serial run exactly.
         let frames = generate_frames(2_000, 64);
         let serial = process_serial(&frames);
-        let out = process_parallel(
-            &frames,
-            &RuntimeConfig {
-                workers: 2,
-                batch_size: 32,
-                queue_depth: 2,
-                backpressure: BackpressurePolicy::Inline,
-                high_watermark: Some(1),
-                ..RuntimeConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(out.digests, serial.digests);
-        assert!(out.inline_batches > 0, "watermark 1 must engage inline");
-        assert_eq!(out.shed_packets, 0);
+        for transport in TRANSPORTS {
+            let out = process_parallel(
+                &frames,
+                &RuntimeConfig {
+                    workers: 2,
+                    batch_size: 32,
+                    queue_depth: 2,
+                    backpressure: BackpressurePolicy::Inline,
+                    high_watermark: Some(1),
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.digests, serial.digests);
+            assert!(out.inline_batches > 0, "watermark 1 must engage inline");
+            assert_eq!(out.shed_packets, 0);
+        }
     }
 
     #[test]
@@ -1013,20 +1335,23 @@ mod tests {
         // blocking send: output stays exact and fallbacks are counted.
         let frames = generate_frames(1_000, 64);
         let serial = process_serial(&frames);
-        let out = process_parallel(
-            &frames,
-            &RuntimeConfig {
-                workers: 2,
-                batch_size: 16,
-                queue_depth: 1,
-                backpressure: BackpressurePolicy::DropTail { budget: 0 },
-                high_watermark: Some(1),
-                ..RuntimeConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(out.digests, serial.digests);
-        assert!(out.block_fallbacks > 0);
-        assert_eq!(out.shed_packets, 0);
+        for transport in TRANSPORTS {
+            let out = process_parallel(
+                &frames,
+                &RuntimeConfig {
+                    workers: 2,
+                    batch_size: 16,
+                    queue_depth: 1,
+                    backpressure: BackpressurePolicy::DropTail { budget: 0 },
+                    high_watermark: Some(1),
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.digests, serial.digests);
+            assert!(out.block_fallbacks > 0);
+            assert_eq!(out.shed_packets, 0);
+        }
     }
 }

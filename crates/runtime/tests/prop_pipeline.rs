@@ -1,11 +1,19 @@
 //! Property-based tests of the threaded pipeline: for arbitrary frame
-//! counts, payload sizes, worker counts and batch sizes, the parallel
-//! pipeline must emit exactly the serial result.
+//! counts, payload sizes, worker counts, batch sizes and transports, the
+//! parallel pipeline must emit exactly the serial result.
 
 use mflow_runtime::{
-    generate_frames, process_parallel, process_serial, BackpressurePolicy, RuntimeConfig,
+    generate_frames, process_parallel, process_serial, BackpressurePolicy, RuntimeConfig, Transport,
 };
 use proptest::prelude::*;
+
+fn pick_transport(sel: usize) -> Transport {
+    if sel == 1 {
+        Transport::Ring
+    } else {
+        Transport::Mpsc
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -17,6 +25,7 @@ proptest! {
         workers in 1usize..6,
         batch in 1usize..512,
         depth in 1usize..8,
+        transport_sel in 0usize..2,
     ) {
         let frames = generate_frames(n, payload);
         let serial = process_serial(&frames);
@@ -26,6 +35,7 @@ proptest! {
                 workers,
                 batch_size: batch,
                 queue_depth: depth,
+                transport: pick_transport(transport_sel),
                 ..RuntimeConfig::default()
             },
         ).unwrap();
@@ -37,6 +47,7 @@ proptest! {
         n in 1usize..1500,
         workers in 2usize..5,
         batch in 1usize..64,
+        transport_sel in 0usize..2,
     ) {
         let frames = generate_frames(n, 32);
         let out = process_parallel(
@@ -45,6 +56,7 @@ proptest! {
                 workers,
                 batch_size: batch,
                 queue_depth: 4,
+                transport: pick_transport(transport_sel),
                 ..RuntimeConfig::default()
             },
         ).unwrap();
@@ -62,6 +74,7 @@ proptest! {
         depth in 1usize..5,
         watermark in 1usize..5,
         policy_sel in 0usize..2,
+        transport_sel in 0usize..2,
     ) {
         // Block and Inline never lose packets, whatever the watermark
         // does — the output must equal the serial run bit for bit.
@@ -80,9 +93,37 @@ proptest! {
                 },
                 high_watermark: Some(watermark.min(depth)),
                 inline_fallback: false,
+                transport: pick_transport(transport_sel),
+                ..RuntimeConfig::default()
             },
         ).unwrap();
         prop_assert_eq!(serial.digests, out.digests);
         prop_assert_eq!(out.shed_packets, 0);
+    }
+
+    #[test]
+    fn ring_transport_honours_any_valid_merger_depth(
+        n in 1usize..600,
+        workers in 1usize..4,
+        batch in 1usize..48,
+        depth_exp in 0u32..10,
+    ) {
+        // merger_depth sweeps the powers of two from 1 to 512: tiny
+        // rings force producer-side waiting, large ones free-run; output
+        // must be exact either way.
+        let frames = generate_frames(n, 32);
+        let serial = process_serial(&frames);
+        let out = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers,
+                batch_size: batch,
+                queue_depth: 2,
+                merger_depth: 1usize << depth_exp,
+                transport: Transport::Ring,
+                ..RuntimeConfig::default()
+            },
+        ).unwrap();
+        prop_assert_eq!(serial.digests, out.digests);
     }
 }

@@ -198,7 +198,7 @@ mod backpressure_accounting {
     use super::*;
     use mflow_runtime::{
         generate_frames, process_parallel_faulty, BackpressurePolicy, LaneStall, RuntimeConfig,
-        RuntimeFaults,
+        RuntimeFaults, Transport,
     };
 
     proptest! {
@@ -212,16 +212,21 @@ mod backpressure_accounting {
             depth in 1usize..4,
             watermark in 1usize..4,
             policy_sel in 0usize..3,
+            transport_sel in 0usize..2,
         ) {
             // Pressure a lane with a sustained stall and check the
             // conservation law of the overload model: every offered
             // packet ends up delivered, shed (whole micro-flows, with a
             // lane attributed), or inside a flushed micro-flow — under
-            // Block, DropTail and Inline alike.
+            // Block, DropTail and Inline alike, over both transports.
             let policy = match policy_sel {
                 0 => BackpressurePolicy::Block,
                 1 => BackpressurePolicy::DropTail { budget: u64::MAX },
                 _ => BackpressurePolicy::Inline,
+            };
+            let transport = match transport_sel {
+                0 => Transport::Mpsc,
+                _ => Transport::Ring,
             };
             let frames = generate_frames(n, 32);
             let cfg = RuntimeConfig {
@@ -231,6 +236,8 @@ mod backpressure_accounting {
                 backpressure: policy,
                 high_watermark: Some(watermark.min(depth)),
                 inline_fallback: false,
+                transport,
+                ..RuntimeConfig::default()
             };
             let mut faults = RuntimeFaults::none();
             faults.lane_stall = Some(LaneStall { worker: 0, ms: 1 });
@@ -267,6 +274,10 @@ mod backpressure_accounting {
             }
             for &(_, lane) in &out.sheds {
                 prop_assert!(lane < workers, "shed attributed to non-primary lane {}", lane);
+            }
+            // No phantom load left behind in the occupancy counters.
+            for (i, &d) in out.lane_depths.iter().enumerate() {
+                prop_assert_eq!(d, 0, "stale end-of-run depth on lane {}", i);
             }
         }
     }
