@@ -12,7 +12,7 @@
 //! cargo run -p mflow-bench --release --bin ablation_irq_split
 //! ```
 
-use mflow::{install, MflowConfig, ScalingMode};
+use mflow::{try_install, MflowConfig, ScalingMode};
 use mflow_bench::{durations, gbps};
 use mflow_metrics::Table;
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, Stage};
@@ -22,8 +22,8 @@ fn run(mcfg: MflowConfig) -> (f64, f64) {
     let mut cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
     cfg.duration_ns = duration_ns;
     cfg.warmup_ns = warmup_ns;
-    let (policy, merge) = install(mcfg);
-    let r = StackSim::run(cfg, policy, Some(merge));
+    let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
     let irq_core_util = r.cpu.utilization_pct(1, r.duration_ns);
     (r.goodput_gbps, irq_core_util)
 }

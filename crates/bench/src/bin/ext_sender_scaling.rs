@@ -12,7 +12,7 @@
 //! cargo run -p mflow-bench --release --bin ext_sender_scaling
 //! ```
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_bench::{durations, gbps, save};
 use mflow_metrics::{SeriesSet, Table};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
@@ -26,8 +26,8 @@ fn run(tx_cores: u32) -> (f64, f64) {
     let mut cfg = StackConfig::single_flow(PathKind::Overlay, flow);
     cfg.duration_ns = duration_ns;
     cfg.warmup_ns = warmup_ns;
-    let (policy, merge) = install(MflowConfig::udp_device_scaling());
-    let r = StackSim::run(cfg, policy, Some(merge));
+    let (policy, merge) = try_install(MflowConfig::udp_device_scaling()).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
     let client_busy = r.client_cpu.busy_ns(0) as f64 / duration_ns as f64 * 100.0;
     (r.goodput_gbps, client_busy)
 }

@@ -9,7 +9,7 @@
 //! cargo run -p mflow-bench --release --bin fig07_batch_size [-- --ablate]
 //! ```
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_bench::{durations, gbps, save};
 use mflow_metrics::{SeriesSet, Table};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
@@ -25,9 +25,9 @@ fn run_with_batch(batch: u32, split_cores: Vec<usize>, tails: Option<Vec<usize>>
     mcfg.batch_size = batch;
     mcfg.split_cores = split_cores;
     mcfg.branch_tails = tails;
-    let (policy, merge) = install(mcfg);
-    let r = StackSim::run(cfg, policy, Some(merge));
-    (r.goodput_gbps, r.ooo_merge_input, r.delivered_bytes / 1448)
+    let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
+    (r.goodput_gbps, r.telemetry.ooo, r.delivered_bytes / 1448)
 }
 
 fn main() {
@@ -79,9 +79,9 @@ fn main() {
             cfg.duration_ns = duration_ns;
             cfg.warmup_ns = warmup_ns;
             let mcfg = MflowConfig::udp_device_scaling();
-            let (policy, mut merge) = install(mcfg);
+            let (policy, mut merge) = try_install(mcfg).expect("stock mflow config");
             merge.before = merge_before;
-            let r = StackSim::run(cfg, policy, Some(merge));
+            let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
             let _ = Transport::Udp;
             t.row([label.to_string(), gbps(r.goodput_gbps)]);
         }

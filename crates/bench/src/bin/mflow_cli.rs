@@ -14,7 +14,7 @@ use mflow_netstack::{
 };
 use mflow_runtime::{
     generate_frames, process_parallel, process_parallel_faulty, BackpressurePolicy, LaneStall,
-    RuntimeConfig, RuntimeFaults, SlowWorker, Transport as RtTransport,
+    PolicyKind, RuntimeConfig, RuntimeFaults, SlowWorker, Transport as RtTransport,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -48,8 +48,11 @@ struct Args {
     rt_faults: RuntimeFaults,
     rt_transport: RtTransport,
     merger_depth: usize,
+    rt_policy: PolicyKind,
     // Transport-comparison bench mode.
     bench_transport: bool,
+    // Policy-comparison bench mode.
+    bench_policy: bool,
     bench_out: String,
     bench_enforce: bool,
 }
@@ -103,8 +106,10 @@ fn parse_args() -> Args {
         rt_faults: RuntimeFaults::none(),
         rt_transport: RtTransport::Mpsc,
         merger_depth: RuntimeConfig::default().merger_depth,
+        rt_policy: PolicyKind::Mflow,
         bench_transport: false,
-        bench_out: "BENCH_runtime_parallel.json".to_string(),
+        bench_policy: false,
+        bench_out: String::new(),
         bench_enforce: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -238,7 +243,15 @@ fn parse_args() -> Args {
             "--merger-depth" => {
                 args.merger_depth = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--policy" => {
+                let v = value(&mut i);
+                args.rt_policy = PolicyKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown steering policy '{v}'");
+                    usage()
+                })
+            }
             "--bench-transport" => args.bench_transport = true,
+            "--bench-policy" => args.bench_policy = true,
             "--bench-out" => args.bench_out = value(&mut i),
             "--bench-enforce" => args.bench_enforce = true,
             "--help" | "-h" => usage(),
@@ -270,6 +283,7 @@ fn run_runtime(a: &Args) {
         inline_fallback: a.inline_fallback,
         transport: a.rt_transport,
         merger_depth: a.merger_depth,
+        policy: a.rt_policy,
     };
     let frames = generate_frames(a.frames, 1400);
     let out = match process_parallel_faulty(&frames, &cfg, &a.rt_faults) {
@@ -295,13 +309,13 @@ fn run_runtime(a: &Args) {
     println!(
         "delivery: {} delivered, {} shed, {} flushed micro-flows, {} merge residue",
         out.digests.len(),
-        out.shed_packets,
+        out.telemetry.shed,
         out.flushed_mfs.len(),
-        out.merge_residue
+        out.telemetry.residue
     );
     println!(
         "overload: {} backpressure events, {} inline batches ({} packets), {} block fallbacks",
-        out.backpressure_events, out.inline_batches, out.inline_packets, out.block_fallbacks
+        out.backpressure_events, out.inline_batches, out.telemetry.inline, out.block_fallbacks
     );
     if !out.sheds.is_empty() {
         let mut per_lane = std::collections::BTreeMap::new();
@@ -312,7 +326,15 @@ fn run_runtime(a: &Args) {
     }
     println!(
         "ordering: {} raced at merge; faults: {} drops, {} redispatched, {} workers died",
-        out.ooo_at_merge, out.fault_drops, out.redispatched, out.workers_died
+        out.telemetry.ooo, out.telemetry.fault_drops, out.telemetry.redispatched, out.workers_died
+    );
+    // The machine-readable line: the same schema both engines emit.
+    println!(
+        "telemetry: {}",
+        out.telemetry.to_json_with(&[
+            ("workers_died", out.workers_died.to_string()),
+            ("backpressure_events", out.backpressure_events.to_string()),
+        ])
     );
 }
 
@@ -440,11 +462,16 @@ fn run_bench_transport(a: &Args) {
         "  \"gate\": {{\"workers\": 4, \"batch\": 32, \"mpsc_best_ns\": {mpsc_ns}, \"ring_best_ns\": {ring_ns}, \"ring_over_mpsc_time\": {ratio:.4}, \"threshold\": 1.10, \"pass\": {pass}}}\n",
     ));
     json.push_str("}\n");
-    if let Err(e) = std::fs::write(&a.bench_out, &json) {
-        eprintln!("failed to write {}: {e}", a.bench_out);
+    let out_path = if a.bench_out.is_empty() {
+        "BENCH_runtime_parallel.json"
+    } else {
+        &a.bench_out
+    };
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {}", a.bench_out);
+    println!("wrote {out_path}");
     if a.bench_enforce && !pass {
         eprintln!(
             "bench gate failed: ring transport is {:.1}% slower than mpsc at w=4 b=32",
@@ -454,10 +481,160 @@ fn run_bench_transport(a: &Args) {
     }
 }
 
+/// One measured point of the policy sweep.
+struct PolicyPoint {
+    policy: PolicyKind,
+    transport: RtTransport,
+    best_ns: u128,
+    mean_ns: u128,
+    gbps: f64,
+    mpps: f64,
+    ooo: u64,
+}
+
+/// `--bench-policy`: race the steering policies over the same
+/// elephant-flow workload (one heavy flow, the scenario MFLOW exists
+/// for) at the reference point {4 workers, batch 32}, on both
+/// transports. Writes `BENCH_policy_compare.json`.
+///
+/// With `--bench-enforce` the process exits nonzero unless MFLOW's
+/// packet-level parallelism beats RPS-style whole-flow pinning on every
+/// transport — the paper's headline claim as a regression gate.
+fn run_bench_policy(a: &Args) {
+    const PAYLOAD: usize = 256;
+    const POLICIES: [PolicyKind; 3] =
+        [PolicyKind::Mflow, PolicyKind::Rps, PolicyKind::FalconFunc];
+    const TRANSPORTS: [RtTransport; 2] = [RtTransport::Mpsc, RtTransport::Ring];
+    const ITERS: usize = 5;
+
+    let n_frames = a.frames;
+    // One elephant flow: every frame shares the flow hash, so whole-flow
+    // policies collapse onto a single lane while MFLOW spreads batches.
+    let frames = generate_frames(n_frames, PAYLOAD);
+    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let mut points: Vec<PolicyPoint> = Vec::new();
+    for transport in TRANSPORTS {
+        for policy in POLICIES {
+            let cfg = RuntimeConfig {
+                workers: 4,
+                batch_size: 32,
+                queue_depth: 8,
+                transport,
+                policy,
+                ..RuntimeConfig::default()
+            };
+            let out = process_parallel(&frames, &cfg).expect("bench config must be valid");
+            assert_eq!(out.digests.len(), n_frames, "bench run lost packets");
+            let mut best_ns = u128::MAX;
+            let mut total_ns = 0u128;
+            let mut ooo = 0u64;
+            for _ in 0..ITERS {
+                let out = process_parallel(&frames, &cfg).expect("bench config must be valid");
+                let ns = out.elapsed.as_nanos();
+                if ns < best_ns {
+                    best_ns = ns;
+                    ooo = out.telemetry.ooo;
+                }
+                total_ns += ns;
+            }
+            let secs = best_ns as f64 / 1e9;
+            let point = PolicyPoint {
+                policy,
+                transport,
+                best_ns,
+                mean_ns: total_ns / ITERS as u128,
+                gbps: bytes as f64 * 8.0 / secs / 1e9,
+                mpps: n_frames as f64 / secs / 1e6,
+                ooo,
+            };
+            println!(
+                "bench: {:<12} {:<5} best {:>9} ns  mean {:>9} ns  {:.2} Gbps  {:.2} Mpps  ooo {}",
+                point.policy,
+                format!("{:?}", point.transport).to_lowercase(),
+                point.best_ns,
+                point.mean_ns,
+                point.gbps,
+                point.mpps,
+                point.ooo,
+            );
+            points.push(point);
+        }
+    }
+
+    // The headline gate: micro-flow splitting must out-run whole-flow
+    // pinning on the elephant workload, on every transport.
+    let best_of = |policy: PolicyKind, transport: RtTransport| {
+        points
+            .iter()
+            .find(|p| p.policy == policy && p.transport == transport)
+            .map(|p| p.best_ns)
+            .expect("sweep covers every policy x transport")
+    };
+    let mut pass = true;
+    for transport in TRANSPORTS {
+        let mflow_ns = best_of(PolicyKind::Mflow, transport);
+        let rps_ns = best_of(PolicyKind::Rps, transport);
+        let ok = mflow_ns < rps_ns;
+        pass &= ok;
+        println!(
+            "gate @ w=4 b=32 {}: mflow/rps time ratio {:.3} ({})",
+            format!("{transport:?}").to_lowercase(),
+            mflow_ns as f64 / rps_ns as f64,
+            if ok { "pass" } else { "FAIL" }
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"policy_compare\",\n");
+    json.push_str(&format!("  \"frames\": {n_frames},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {PAYLOAD},\n"));
+    json.push_str(&format!("  \"bytes_per_run\": {bytes},\n"));
+    json.push_str(&format!("  \"iters_per_point\": {ITERS},\n"));
+    json.push_str("  \"workers\": 4,\n  \"batch\": 32,\n");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"transport\": \"{}\", \"best_ns\": {}, \"mean_ns\": {}, \"gbps\": {:.4}, \"mpps\": {:.4}, \"ooo\": {}}}{}\n",
+            p.policy,
+            format!("{:?}", p.transport).to_lowercase(),
+            p.best_ns,
+            p.mean_ns,
+            p.gbps,
+            p.mpps,
+            p.ooo,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"gate\": {{\"claim\": \"mflow beats rps on the elephant workload\", \"pass\": {pass}}}\n",
+    ));
+    json.push_str("}\n");
+    let out_path = if a.bench_out.is_empty() {
+        "BENCH_policy_compare.json"
+    } else {
+        &a.bench_out
+    };
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if a.bench_enforce && !pass {
+        eprintln!("bench gate failed: mflow did not beat rps on the elephant workload");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let a = parse_args();
     if a.bench_transport {
         run_bench_transport(&a);
+        return;
+    }
+    if a.bench_policy {
+        run_bench_policy(&a);
         return;
     }
     if a.runtime {
@@ -523,30 +700,37 @@ fn main() {
     };
     println!("{}", r.summary());
     println!(
+        "telemetry: {}",
+        r.telemetry.to_json_with(&[
+            ("ring_drops", r.ring_drops.to_string()),
+            ("sock_drops", r.sock_drops.to_string()),
+        ])
+    );
+    println!(
         "delivered {:.1} MB in {} messages over {:.0} ms ({} events simulated)",
         r.delivered_bytes as f64 / 1e6,
-        r.messages,
+        r.telemetry.delivered,
         r.measured_ns as f64 / 1e6,
         r.events
     );
     println!(
         "ordering: {} raced at merge, {} tcp ooo inserts, {} merge residue",
-        r.ooo_merge_input, r.tcp_ooo_inserts, r.merge_residue
+        r.telemetry.ooo, r.tcp_ooo_inserts, r.telemetry.residue
     );
-    if r.desplits > 0 || r.resplits > 0 {
+    if r.telemetry.desplits > 0 || r.telemetry.resplits > 0 {
         println!(
             "overload: {} flows de-split under lane pressure, {} re-promoted",
-            r.desplits, r.resplits
+            r.telemetry.desplits, r.telemetry.resplits
         );
     }
     if faults_on {
         println!(
             "faults: injected {} drops, {} dups, {} late skbs",
-            r.fault_drops, r.fault_dups, r.fault_delays
+            r.telemetry.fault_drops, r.fault_dups, r.fault_delays
         );
         println!(
             "degradation: {} micro-flows flushed, {} late drops, {} dup drops",
-            r.merge_flushed, r.merge_late_drops, r.merge_dup_drops
+            r.telemetry.flushed, r.telemetry.late, r.telemetry.dup
         );
     }
     println!(

@@ -108,7 +108,11 @@ impl MflowConfig {
     /// A multi-flow configuration over a kernel core pool: per-flow
     /// dispatch core chosen by hash, each flow split across `lanes`
     /// neighbouring cores, no dedicated branch tails. Panics on an invalid
-    /// pool; prefer [`MflowConfig::try_multi_flow`] in fallible contexts.
+    /// pool.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_multi_flow` and handle the error"
+    )]
     pub fn multi_flow(kernel_cores: Vec<CoreId>, lanes: usize, merge_core: CoreId) -> Self {
         Self::try_multi_flow(kernel_cores, lanes, merge_core).expect("invalid MflowConfig")
     }
@@ -212,7 +216,7 @@ mod tests {
     fn stock_configs_validate() {
         MflowConfig::tcp_full_path().validate().unwrap();
         MflowConfig::udp_device_scaling().validate().unwrap();
-        MflowConfig::multi_flow(vec![1, 2, 3], 2, 0).validate().unwrap();
+        MflowConfig::try_multi_flow(vec![1, 2, 3], 2, 0).expect("valid multi-flow config").validate().unwrap();
     }
 
     #[test]

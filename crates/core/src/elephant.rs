@@ -132,8 +132,8 @@ pub struct ElephantDetector {
 }
 
 impl ElephantDetector {
-    /// Creates a detector, panicking on an invalid config. Prefer
-    /// [`ElephantDetector::try_new`] in fallible contexts.
+    /// Creates a detector, panicking on an invalid config.
+    #[deprecated(since = "0.2.0", note = "use `try_new` and handle the error")]
     pub fn new(cfg: ElephantConfig) -> Self {
         Self::try_new(cfg).expect("invalid ElephantConfig")
     }
@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn fast_flow_is_promoted() {
-        let mut d = ElephantDetector::new(cfg());
+        let mut d = ElephantDetector::try_new(cfg()).expect("valid elephant config");
         // 50 segs/ms = 50k segs/s, well above the 10k threshold.
         feed(&mut d, 0, 50, 8, 0);
         assert!(d.is_elephant(0));
@@ -303,7 +303,7 @@ mod tests {
 
     #[test]
     fn slow_flow_stays_mouse() {
-        let mut d = ElephantDetector::new(cfg());
+        let mut d = ElephantDetector::try_new(cfg()).expect("valid elephant config");
         // 2 segs/ms = 2k segs/s, below both thresholds.
         feed(&mut d, 0, 2, 20, 0);
         assert!(!d.is_elephant(0));
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn hysteresis_requires_falling_below_demote_threshold() {
-        let mut d = ElephantDetector::new(cfg());
+        let mut d = ElephantDetector::try_new(cfg()).expect("valid elephant config");
         let t = feed(&mut d, 0, 50, 8, 0);
         assert!(d.is_elephant(0));
         // Drop to 7 segs/ms = 7k/s: between demote (4k) and promote (10k):
@@ -327,7 +327,7 @@ mod tests {
 
     #[test]
     fn flows_are_tracked_independently() {
-        let mut d = ElephantDetector::new(cfg());
+        let mut d = ElephantDetector::try_new(cfg()).expect("valid elephant config");
         feed(&mut d, 0, 50, 8, 0);
         feed(&mut d, 1, 2, 8, 0);
         assert!(d.is_elephant(0));
@@ -337,7 +337,7 @@ mod tests {
 
     #[test]
     fn always_mode_splits_everything() {
-        let mut d = ElephantDetector::new(ElephantConfig::always());
+        let mut d = ElephantDetector::try_new(ElephantConfig::always()).expect("valid elephant config");
         assert!(d.observe(7, 1, 0));
         assert!(d.is_elephant(7));
     }
@@ -387,13 +387,13 @@ mod tests {
     fn rate_exactly_at_promote_threshold_promotes() {
         // alpha = 1.0 makes the EWMA equal the instantaneous window rate,
         // so a window at exactly the threshold must promote (>= semantics).
-        let mut d = ElephantDetector::new(ElephantConfig {
+        let mut d = ElephantDetector::try_new(ElephantConfig {
             promote_segs_per_sec: 10_000.0,
             demote_segs_per_sec: 4_000.0,
             window_ns: 1_000_000,
             alpha: 1.0,
             ..ElephantConfig::default()
-        });
+        }).expect("valid elephant config");
         // 10 segs over exactly 1 ms = 10_000 segs/s.
         d.observe(0, 10, 0);
         d.observe(0, 0, 1_000_000);
@@ -412,7 +412,7 @@ mod tests {
 
     #[test]
     fn sustained_pressure_desplits_after_streak() {
-        let mut d = ElephantDetector::new(pressure_cfg());
+        let mut d = ElephantDetector::try_new(pressure_cfg()).expect("valid elephant config");
         assert!(!d.lane_pressure(0, 150));
         assert!(!d.lane_pressure(0, 150));
         assert!(d.lane_pressure(0, 150), "third consecutive window flips");
@@ -423,7 +423,7 @@ mod tests {
 
     #[test]
     fn pressure_dead_band_holds_state_and_resets_streaks() {
-        let mut d = ElephantDetector::new(pressure_cfg());
+        let mut d = ElephantDetector::try_new(pressure_cfg()).expect("valid elephant config");
         d.lane_pressure(0, 150);
         d.lane_pressure(0, 150);
         // Dead-band sample resets the over-streak: two more high samples
@@ -439,7 +439,7 @@ mod tests {
 
     #[test]
     fn pressure_clearing_resplits() {
-        let mut d = ElephantDetector::new(pressure_cfg());
+        let mut d = ElephantDetector::try_new(pressure_cfg()).expect("valid elephant config");
         for _ in 0..3 {
             d.lane_pressure(0, 200);
         }
@@ -454,7 +454,7 @@ mod tests {
 
     #[test]
     fn pressure_disabled_by_default() {
-        let mut d = ElephantDetector::new(ElephantConfig::default());
+        let mut d = ElephantDetector::try_new(ElephantConfig::default()).expect("valid elephant config");
         for _ in 0..100 {
             assert!(!d.lane_pressure(0, u64::MAX - 1));
         }

@@ -17,34 +17,37 @@
 //!   the original order batch-at-a-time, instead of the kernel's
 //!   per-packet out-of-order queue (§III-B, Figure 6c).
 //!
-//! The [`install`] helper wires a configuration into the simulated stack:
+//! The [`try_install`] helper wires a configuration into the simulated
+//! stack:
 //!
 //! ```
-//! use mflow::{install, MflowConfig};
+//! use mflow::{try_install, MflowConfig};
 //! use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
 //!
 //! let cfg = StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
-//! let (policy, merge) = install(MflowConfig::tcp_full_path());
-//! let report = StackSim::run(cfg, policy, Some(merge));
+//! let (policy, merge) = try_install(MflowConfig::tcp_full_path()).unwrap();
+//! let report = StackSim::try_run(cfg, policy, Some(merge)).unwrap();
 //! assert!(report.goodput_gbps > 0.0);
 //! ```
 
 pub mod config;
 pub mod elephant;
+pub mod lanes;
 pub mod reassembly;
 pub mod splitter;
 
 pub use config::{MflowConfig, ScalingMode};
 pub use elephant::{ElephantConfig, ElephantDetector};
+pub use lanes::MflowLanes;
 pub use mflow_error::MflowError;
-pub use reassembly::{BatchMerger, MergeCounter, MfTag, Offer};
+pub use reassembly::{BatchMerger, MergeCounter, MergeStats, MfTag, Offer};
 pub use splitter::MflowSteering;
 
 use mflow_netstack::{MergeSetup, PacketSteering};
 
 /// Builds the steering policy and merge hook for a configuration,
-/// panicking on an invalid one. Prefer [`try_install`] in fallible
-/// contexts.
+/// panicking on an invalid one.
+#[deprecated(since = "0.2.0", note = "use `try_install` and handle the error")]
 pub fn install(cfg: MflowConfig) -> (Box<dyn PacketSteering>, MergeSetup) {
     try_install(cfg).expect("invalid MflowConfig")
 }

@@ -51,6 +51,41 @@ pub enum Offer {
     Duplicate,
 }
 
+/// Outcome tally of one merge point: every offered item was released in
+/// order, is still parked (`residue`), or was rejected (`late_drops` /
+/// `dup_drops`); every micro-flow the counter gave up on is in `flushed`.
+///
+/// Both execution engines report merge outcomes through this one block —
+/// the runtime's merger thread snapshots its single [`MergeCounter`],
+/// the simulator's [`BatchMerger`] folds one snapshot per flow with
+/// [`MergeStats::absorb`] — so the accepted/late/dup/flushed bookkeeping
+/// lives here instead of being re-derived by each engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Items released in original order.
+    pub released: u64,
+    /// Micro-flows the counter force-advanced past.
+    pub flushed: u64,
+    /// Items rejected because the counter had already passed them.
+    pub late_drops: u64,
+    /// Items rejected as duplicate copies.
+    pub dup_drops: u64,
+    /// Items still parked in lane buffers at snapshot time.
+    pub residue: u64,
+}
+
+impl MergeStats {
+    /// Folds another merge point's tally into this one (per-flow
+    /// counters aggregating to a stack-wide total).
+    pub fn absorb(&mut self, other: MergeStats) {
+        self.released += other.released;
+        self.flushed += other.flushed;
+        self.late_drops += other.late_drops;
+        self.dup_drops += other.dup_drops;
+        self.residue += other.residue;
+    }
+}
+
 /// What the merger knows about one in-flight micro-flow.
 #[derive(Clone, Copy, Debug)]
 struct MfEntry {
@@ -160,6 +195,20 @@ impl<T> MergeCounter<T> {
     /// Items rejected as duplicate copies of a known micro-flow.
     pub fn dup_drops(&self) -> u64 {
         self.dup_drops
+    }
+
+    /// Snapshot of this counter's outcome tally — the one merge-point
+    /// bookkeeping block both execution engines consume (directly in the
+    /// runtime's merger thread, folded per-flow by [`BatchMerger`] in
+    /// the simulator).
+    pub fn stats(&self) -> MergeStats {
+        MergeStats {
+            released: self.released,
+            flushed: self.flushed(),
+            late_drops: self.late_drops,
+            dup_drops: self.dup_drops,
+            residue: self.buffered as u64,
+        }
     }
 
     /// Offers one tagged item; appends any now-in-order items to `out`
@@ -343,6 +392,18 @@ impl BatchMerger {
             None => MergeCounter::new(),
         })
     }
+
+    /// Stack-wide outcome tally: one [`MergeStats`] snapshot per flow,
+    /// folded. All the [`FlowMerger`] counter accessors read through
+    /// this.
+    pub fn stats(&self) -> MergeStats {
+        self.flows
+            .values()
+            .fold(MergeStats::default(), |mut acc, m| {
+                acc.absorb(m.stats());
+                acc
+            })
+    }
 }
 
 impl FlowMerger for BatchMerger {
@@ -366,7 +427,7 @@ impl FlowMerger for BatchMerger {
     }
 
     fn buffered(&self) -> usize {
-        self.flows.values().map(|m| m.buffered()).sum()
+        self.stats().residue as usize
     }
 
     fn merge_cost_ns(&self, _offered: u64, _released: u64) -> u64 {
@@ -382,15 +443,15 @@ impl FlowMerger for BatchMerger {
     }
 
     fn flushed(&self) -> u64 {
-        self.flows.values().map(|m| m.flushed()).sum()
+        self.stats().flushed
     }
 
     fn late_drops(&self) -> u64 {
-        self.flows.values().map(|m| m.late_drops()).sum()
+        self.stats().late_drops
     }
 
     fn dup_drops(&self) -> u64 {
-        self.flows.values().map(|m| m.dup_drops()).sum()
+        self.stats().dup_drops
     }
 
     fn flush_stalled(&mut self) -> Vec<Skb> {

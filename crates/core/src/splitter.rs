@@ -73,7 +73,8 @@ pub struct MflowSteering {
 
 impl MflowSteering {
     /// Creates the policy for a configuration, panicking on an invalid
-    /// one. Prefer [`MflowSteering::try_new`] in fallible contexts.
+    /// one.
+    #[deprecated(since = "0.2.0", note = "use `try_new` and handle the error")]
     pub fn new(cfg: MflowConfig) -> Self {
         Self::try_new(cfg).expect("invalid MflowConfig")
     }
@@ -371,7 +372,7 @@ mod tests {
     fn splits_into_batch_sized_microflows_round_robin() {
         let mut cfg = MflowConfig::tcp_full_path();
         cfg.batch_size = 4;
-        let mut p = MflowSteering::new(cfg);
+        let mut p = MflowSteering::try_new(cfg).expect("valid mflow config");
         let out = run_split(&mut p, 12);
         // 12 packets / batch 4 = 3 micro-flows over lanes 2,3,2.
         let cores: Vec<CoreId> = out.iter().map(|(c, _)| *c).collect();
@@ -390,7 +391,7 @@ mod tests {
     fn split_state_persists_across_polls() {
         let mut cfg = MflowConfig::tcp_full_path();
         cfg.batch_size = 10;
-        let mut p = MflowSteering::new(cfg);
+        let mut p = MflowSteering::try_new(cfg).expect("valid mflow config");
         // Two polls of 6 packets: micro-flow 0 spans them.
         let a = run_split(&mut p, 6);
         assert_eq!(a.len(), 1);
@@ -410,7 +411,7 @@ mod tests {
 
     #[test]
     fn branch_tails_take_over_after_split_stage() {
-        let mut p = MflowSteering::new(MflowConfig::tcp_full_path());
+        let mut p = MflowSteering::try_new(MflowConfig::tcp_full_path()).expect("valid mflow config");
         let mut s = skb(0, 0);
         s.mf = Some(MicroflowTag {
             id: 0,
@@ -423,14 +424,14 @@ mod tests {
 
     #[test]
     fn tcp_rx_lands_on_the_merge_core() {
-        let mut p = MflowSteering::new(MflowConfig::tcp_full_path());
+        let mut p = MflowSteering::try_new(MflowConfig::tcp_full_path()).expect("valid mflow config");
         let out = p.dispatch(0, Stage::InnerIp, Stage::TcpRx, 4, vec![skb(0, 0)], LoadView::new(&no_load()));
         assert_eq!(out[0].0, 0);
     }
 
     #[test]
     fn device_scaling_keeps_lane_through_the_device_chain() {
-        let mut p = MflowSteering::new(MflowConfig::udp_device_scaling());
+        let mut p = MflowSteering::try_new(MflowConfig::udp_device_scaling()).expect("valid mflow config");
         // Split happens into OuterIp.
         let batch: Vec<Skb> = (0..4).map(|i| skb(0, i)).collect();
         let out = p.dispatch(0, Stage::SkbAlloc, Stage::OuterIp, 1, batch, LoadView::new(&no_load()));
@@ -442,7 +443,7 @@ mod tests {
 
     #[test]
     fn dispatch_cost_charged_only_at_split() {
-        let p = MflowSteering::new(MflowConfig::tcp_full_path());
+        let p = MflowSteering::try_new(MflowConfig::tcp_full_path()).expect("valid mflow config");
         assert!(p.dispatch_cost_ns(Stage::DriverPoll, Stage::SkbAlloc, 64) > 0);
         assert_eq!(p.dispatch_cost_ns(Stage::Gro, Stage::OuterIp, 64), 0);
     }
@@ -458,7 +459,7 @@ mod tests {
             overload_windows: 2,
             ..ElephantConfig::always()
         };
-        let mut p = MflowSteering::new(cfg);
+        let mut p = MflowSteering::try_new(cfg).expect("valid mflow config");
         // Saturated lanes: backlog far above the high watermark on the
         // split cores 2 and 3.
         let mut hot = no_load();
@@ -490,8 +491,8 @@ mod tests {
 
     #[test]
     fn spread_flows_balance_roles_across_the_pool() {
-        let cfg = MflowConfig::multi_flow(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 2, 0);
-        let mut p = MflowSteering::new(cfg);
+        let cfg = MflowConfig::try_multi_flow(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 2, 0).expect("valid multi-flow config");
+        let mut p = MflowSteering::try_new(cfg).expect("valid mflow config");
         // Ten distinct flows, three roles each, over ten cores: every core
         // must end up with exactly three roles.
         let mut roles = std::collections::BTreeMap::new();

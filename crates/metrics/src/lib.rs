@@ -10,6 +10,7 @@ pub mod hist;
 pub mod series;
 pub mod stats;
 pub mod table;
+pub mod telemetry;
 pub mod throughput;
 pub mod timeseries;
 
@@ -18,5 +19,6 @@ pub use hist::LatencyHistogram;
 pub use series::{DataPoint, Series, SeriesSet};
 pub use stats::{mean, percentile_of_sorted, stddev};
 pub use table::Table;
+pub use telemetry::Telemetry;
 pub use throughput::ThroughputMeter;
 pub use timeseries::WindowedRate;

@@ -1,21 +1,22 @@
 //! The result of one simulation run.
 
-use mflow_metrics::{CpuAccounting, LatencyHistogram, WindowedRate};
+use mflow_metrics::{CpuAccounting, LatencyHistogram, Telemetry, WindowedRate};
 use mflow_sim::Trace;
 
 /// Everything a bench harness or test needs from one run.
 #[derive(Debug)]
 pub struct RunReport {
-    /// Steering policy name.
-    pub policy: String,
+    /// The shared cross-engine counter block (policy name, delivered
+    /// messages, merge disturbance, flush recovery, de-split activity).
+    /// `lane_depths` here carries the deepest backlog (wire segments)
+    /// observed per core. The engine-specific fields below extend it.
+    pub telemetry: Telemetry,
     /// Total simulated time.
     pub duration_ns: u64,
     /// Post-warmup measurement window.
     pub measured_ns: u64,
     /// Payload bytes copied to user space in the window.
     pub delivered_bytes: u64,
-    /// Application messages completed in the window.
-    pub messages: u64,
     /// Goodput in Gbit/s over the window.
     pub goodput_gbps: f64,
     /// Message completion rate.
@@ -36,8 +37,6 @@ pub struct RunReport {
     pub sock_drops: u64,
     /// TCP socket pushes that failed — must stay zero (window-bounded).
     pub sock_push_fail_tcp: u64,
-    /// Arrival-order inversions observed entering the merge point.
-    pub ooo_merge_input: u64,
     /// Arrival-order inversions observed entering the transport stage.
     pub ooo_transport: u64,
     /// Skbs that took TCP's expensive per-packet out-of-order path.
@@ -50,34 +49,15 @@ pub struct RunReport {
     pub ipis: u64,
     /// Merge-hook invocations.
     pub merge_invocations: u64,
-    /// Skbs still buffered in the merger at the end (should be ~0).
-    pub merge_residue: usize,
-    /// Micro-flows the merger gave up waiting for and skipped past
-    /// (flush-deadline recovery under loss).
-    pub merge_flushed: u64,
-    /// Skbs the merger dropped for arriving after their micro-flow was
-    /// passed.
-    pub merge_late_drops: u64,
-    /// Skbs the merger dropped as duplicate copies.
-    pub merge_dup_drops: u64,
-    /// Skbs deleted by the fault injector at the merge input.
-    pub fault_drops: u64,
     /// Duplicate skbs injected by the fault injector.
     pub fault_dups: u64,
     /// Skbs the fault injector delivered late.
     pub fault_delays: u64,
-    /// Flows the steering policy demoted to unsplit processing because
-    /// their lanes stayed above the occupancy high watermark.
-    pub desplits: u64,
-    /// Flows re-promoted to split processing after lane pressure cleared.
-    pub resplits: u64,
     /// Delivered bytes per 1 ms window over the whole run — for
     /// convergence checks and throughput-over-time plots.
     pub delivered_series: WindowedRate,
     /// Per-core execution trace (when `StackConfig::trace` was set).
     pub trace: Option<Trace>,
-    /// Deepest backlog (wire segments) observed per core.
-    pub backlog_watermark: Vec<u64>,
     /// Per-flow delivered payload bytes (whole run).
     pub per_flow_delivered: Vec<u64>,
     /// Engine events processed.
@@ -106,7 +86,7 @@ impl RunReport {
     pub fn summary(&self) -> String {
         format!(
             "{:<12} {:>7.2} Gbps  {:>9.0} msg/s  p50={:>7.1}us p99={:>7.1}us  drops(ring={}, sock={})",
-            self.policy,
+            self.telemetry.policy,
             self.goodput_gbps,
             self.msgs_per_sec,
             self.latency.median() as f64 / 1e3,

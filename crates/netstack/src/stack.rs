@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use mflow_error::MflowError;
+use mflow_metrics::Telemetry;
 use mflow_sim::time::wire_ns;
 use mflow_sim::{CoreId, CoreSet, Ctx, Engine, Model, Rng, Time};
 
@@ -260,8 +261,8 @@ impl StackSim {
     }
 
     /// Convenience: builds, seeds initial events and runs to completion,
-    /// returning the report. Panics on a malformed [`StackConfig`];
-    /// prefer [`StackSim::try_run`] in fallible contexts.
+    /// returning the report. Panics on a malformed [`StackConfig`].
+    #[deprecated(since = "0.2.0", note = "use `try_run` and handle the error")]
     pub fn run(
         cfg: StackConfig,
         policy: Box<dyn PacketSteering>,
@@ -270,8 +271,8 @@ impl StackSim {
         Self::try_run(cfg, policy, merge).expect("invalid StackConfig")
     }
 
-    /// Fallible [`StackSim::run`]: a malformed configuration is reported
-    /// as [`MflowError::InvalidConfig`] instead of a panic.
+    /// Builds, seeds initial events and runs to completion; a malformed
+    /// configuration is reported as [`MflowError::InvalidConfig`].
     pub fn try_run(
         cfg: StackConfig,
         policy: Box<dyn PacketSteering>,
@@ -921,12 +922,31 @@ impl StackSim {
             })
             .unwrap_or((0, 0, 0, 0));
         let (desplits, resplits) = self.policy.desplit_stats();
-        RunReport {
+        // The shared counter block every engine reports. The simulator
+        // has no shedding, inline fallback or redispatch (those are
+        // real-thread overload mechanisms), so those stay zero;
+        // `lane_depths` carries the deepest per-core backlog watermark.
+        let telemetry = Telemetry {
             policy: self.policy.name().to_string(),
+            delivered: self.stats.messages,
+            ooo: self.stats.ooo_merge_input,
+            flushed: merge_flushed,
+            late: merge_late_drops,
+            dup: merge_dup_drops,
+            shed: 0,
+            inline: 0,
+            desplits,
+            resplits,
+            redispatched: 0,
+            fault_drops: fault_counts.drops,
+            residue: merge_residue as u64,
+            lane_depths: self.backlog_watermark.clone(),
+        };
+        RunReport {
+            telemetry,
             duration_ns,
             measured_ns,
             delivered_bytes: self.stats.delivered_bytes,
-            messages: self.stats.messages,
             goodput_gbps: self.stats.delivered_bytes as f64 * 8.0 / measured_ns as f64,
             msgs_per_sec: self.stats.messages as f64 * 1e9 / measured_ns as f64,
             latency: self.stats.latency,
@@ -937,25 +957,16 @@ impl StackSim {
             ring_drops,
             sock_drops,
             sock_push_fail_tcp: self.stats.sock_push_fail_tcp,
-            ooo_merge_input: self.stats.ooo_merge_input,
             ooo_transport: self.stats.ooo_transport,
             tcp_ooo_inserts,
             tcp_retransmits,
             tcp_inversions,
             ipis: self.stats.ipis,
             merge_invocations: self.stats.merge_invocations,
-            merge_residue,
-            merge_flushed,
-            merge_late_drops,
-            merge_dup_drops,
-            fault_drops: fault_counts.drops,
             fault_dups: fault_counts.dups,
             fault_delays: fault_counts.delays,
-            desplits,
-            resplits,
             delivered_series: self.stats.delivered_series.take().expect("series present"),
             trace: self.cores.trace().cloned(),
-            backlog_watermark: self.backlog_watermark.clone(),
             per_flow_delivered: self.flows.iter().map(|f| f.delivered_bytes).collect(),
             events,
         }
@@ -1006,12 +1017,12 @@ mod tests {
             FlowSpec::tcp(65536, 0),
         ));
         let irq = cfg.kernel_cores[0];
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(irq)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(irq)), None).expect("valid stack config");
         assert!(report.goodput_gbps > 1.0, "no useful throughput: {report:?}");
         assert_eq!(report.ring_drops, 0);
         assert_eq!(report.sock_push_fail_tcp, 0);
         assert_eq!(report.tcp_ooo_inserts, 0, "single core must stay in order");
-        assert!(report.messages > 100);
+        assert!(report.telemetry.delivered > 100);
     }
 
     #[test]
@@ -1025,8 +1036,8 @@ mod tests {
             FlowSpec::tcp(65536, 0),
         ));
         let irq = overlay.kernel_cores[0];
-        let r_overlay = StackSim::run(overlay, Box::new(StayLocal::new(irq)), None);
-        let r_native = StackSim::run(native, Box::new(StayLocal::new(irq)), None);
+        let r_overlay = StackSim::try_run(overlay, Box::new(StayLocal::new(irq)), None).expect("valid stack config");
+        let r_native = StackSim::try_run(native, Box::new(StayLocal::new(irq)), None).expect("valid stack config");
         assert!(
             r_native.goodput_gbps > r_overlay.goodput_gbps * 1.2,
             "native {:.1} vs overlay {:.1}",
@@ -1048,8 +1059,8 @@ mod tests {
             cfg
         };
         let irq = 1;
-        let r_native = StackSim::run(mk(PathKind::Native), Box::new(StayLocal::new(irq)), None);
-        let r_overlay = StackSim::run(mk(PathKind::Overlay), Box::new(StayLocal::new(irq)), None);
+        let r_native = StackSim::try_run(mk(PathKind::Native), Box::new(StayLocal::new(irq)), None).expect("valid stack config");
+        let r_overlay = StackSim::try_run(mk(PathKind::Overlay), Box::new(StayLocal::new(irq)), None).expect("valid stack config");
         let ratio = r_overlay.goodput_gbps / r_native.goodput_gbps;
         assert!(
             ratio < 0.45,
@@ -1066,7 +1077,7 @@ mod tests {
             FlowSpec::tcp(4096, 0),
         ));
         cfg.flows[0].load = LoadModel::Paced { interval_ns: 50_000 };
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         assert!(report.latency.count() > 50);
         assert!(report.latency.median() > 1_000, "sub-microsecond latency is implausible");
         assert!(report.latency.p99() >= report.latency.median());
@@ -1080,10 +1091,10 @@ mod tests {
                 FlowSpec::tcp(65536, 0),
             ))
         };
-        let a = StackSim::run(mk(), Box::new(StayLocal::new(1)), None);
-        let b = StackSim::run(mk(), Box::new(StayLocal::new(1)), None);
+        let a = StackSim::try_run(mk(), Box::new(StayLocal::new(1)), None).expect("valid stack config");
+        let b = StackSim::try_run(mk(), Box::new(StayLocal::new(1)), None).expect("valid stack config");
         assert_eq!(a.delivered_bytes, b.delivered_bytes);
-        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.telemetry.delivered, b.telemetry.delivered);
         assert_eq!(a.events, b.events);
         assert_eq!(a.latency.median(), b.latency.median());
     }
@@ -1099,7 +1110,7 @@ mod tests {
             FlowSpec::udp(65536, 0),
             FlowSpec::udp(65536, 0),
         ];
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         assert!(report.ring_drops > 0, "three saturating clients must overrun one core");
         assert!(report.goodput_gbps > 0.5);
     }
@@ -1110,7 +1121,7 @@ mod tests {
         cfg.duration_ns = 20 * MS;
         cfg.warmup_ns = 5 * MS;
         assert!(cfg.noise.enabled);
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         assert!(report.goodput_gbps > 1.0);
         assert_eq!(report.tcp_ooo_inserts, 0);
         // Interference must show up in the CPU ledger.
@@ -1123,7 +1134,7 @@ mod tests {
             PathKind::Overlay,
             FlowSpec::tcp(65536, 0),
         ));
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         for tag in [
             "pnic.poll",
             "pnic.skb_alloc",
@@ -1146,7 +1157,7 @@ mod tests {
             FlowSpec::tcp(65536, 0),
         ));
         cfg.trace = true;
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         let trace = report.trace.expect("trace requested");
         assert!(!trace.spans().is_empty());
         let tags: std::collections::BTreeSet<&str> =
@@ -1170,8 +1181,8 @@ mod tests {
             flow.tx_cores = tx;
             quiet(StackConfig::single_flow(PathKind::Native, flow))
         };
-        let one = StackSim::run(mk(1), Box::new(StayLocal::new(1)), None);
-        let two = StackSim::run(mk(2), Box::new(StayLocal::new(1)), None);
+        let one = StackSim::try_run(mk(1), Box::new(StayLocal::new(1)), None).expect("valid stack config");
+        let two = StackSim::try_run(mk(2), Box::new(StayLocal::new(1)), None).expect("valid stack config");
         assert!(
             two.goodput_gbps > one.goodput_gbps * 1.1,
             "tx=2 {:.2} vs tx=1 {:.2}",
@@ -1190,7 +1201,7 @@ mod tests {
             FlowSpec::tcp(1024, 0),
         ));
         cfg.flows[0].load = LoadModel::Paced { interval_ns: 100_000 };
-        let r = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let r = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         let coalesce = CostModel::calibrated().irq_coalesce_ns;
         assert!(
             r.latency.median() >= coalesce,
@@ -1208,7 +1219,7 @@ mod tests {
             PathKind::Overlay,
             FlowSpec::tcp(16, 0),
         ));
-        let report = StackSim::run(cfg, Box::new(StayLocal::new(1)), None);
+        let report = StackSim::try_run(cfg, Box::new(StayLocal::new(1)), None).expect("valid stack config");
         let client_busy = report.client_cpu.busy_ns(0);
         let kernel_busy = report.cpu.busy_ns(1);
         assert!(

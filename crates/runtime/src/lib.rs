@@ -29,6 +29,8 @@ pub mod work;
 
 pub use faults::{LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
 pub use mflow_error::MflowError;
+pub use mflow_metrics::Telemetry;
+pub use mflow_steering::{PolicyKind, SteeringPolicy};
 pub use packet::{generate_frames, Frame};
 pub use pipeline::{
     process_parallel, process_parallel_faulty, process_serial, BackpressurePolicy, RunOutput,

@@ -13,6 +13,25 @@ pub struct Frame {
     pub bytes: Vec<u8>,
 }
 
+impl Frame {
+    /// The receive-side flow hash: FNV-1a over the outer IP addresses and
+    /// UDP ports — the same header fields NIC RSS hashes for a VXLAN
+    /// frame, and constant across every frame of one flow. Steering
+    /// policies key on this to pin or spread flows.
+    pub fn flow_hash(&self) -> u32 {
+        // Outer Ethernet (14) + IP header to the address fields (12):
+        // src/dst IPv4 at 26..34, then the UDP ports at 34..38.
+        let end = self.bytes.len().min(38);
+        let start = 26.min(end);
+        let mut h = 0x811c9dc5u32;
+        for &b in &self.bytes[start..end] {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x01000193);
+        }
+        h
+    }
+}
+
 /// Builds `n` frames of one TCP flow with `payload_len`-byte payloads.
 ///
 /// Payload content is derived from the sequence number, so the digest a
@@ -71,5 +90,12 @@ mod tests {
         for f in &frames {
             assert!(parse_overlay_frame(&f.bytes).is_ok());
         }
+    }
+
+    #[test]
+    fn flow_hash_is_constant_across_one_flow() {
+        let frames = generate_frames(64, 128);
+        let h = frames[0].flow_hash();
+        assert!(frames.iter().all(|f| f.flow_hash() == h));
     }
 }

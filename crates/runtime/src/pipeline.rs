@@ -1,4 +1,4 @@
-//! The threaded split/merge pipeline.
+//! The threaded split/merge pipeline, steered by a pluggable policy.
 //!
 //! Topology (mirroring Figure 6 of the paper on real cores):
 //!
@@ -8,11 +8,34 @@
 //!             +-> worker N-1-/
 //! ```
 //!
-//! The dispatcher assigns micro-flows of `batch_size` consecutive frames
-//! round-robin to workers over bounded SPSC lanes; each worker performs
-//! the full per-packet work; the merger restores the original order with
-//! the merging-counter algorithm. Workers run genuinely concurrently, so
-//! the merger sees every interleaving a real kernel would.
+//! The dispatcher groups micro-flows of `batch_size` consecutive frames
+//! and asks the configured [`SteeringPolicy`]
+//! ([`RuntimeConfig::policy`]) for a lane per batch; each worker performs
+//! the per-packet work; the merger restores the original order with the
+//! merging-counter algorithm. Workers run genuinely concurrently, so the
+//! merger sees every interleaving a real kernel would.
+//!
+//! # Steering policies
+//!
+//! * **mflow** (default) — micro-flows of an elephant flow round-robin
+//!   across every lane, the paper's packet-level parallelism. The only
+//!   policy that interleaves one flow, so the only one that *needs* the
+//!   merge counter on a fault-free run.
+//! * **rps / rss / rfs** — whole-flow steering: every batch of a flow
+//!   lands on one pinned lane, so per-lane FIFO alone preserves order
+//!   and the merger degenerates to passthrough (zero `ooo`, zero
+//!   `flushed`).
+//! * **falcon-dev / falcon-func** — FALCON's softirq pipelining: batches
+//!   enter a *chain* of workers (2 or 3 stage groups of
+//!   [`crate::work::STAGES`]); each worker applies its group and
+//!   forwards to the next, the tail feeds the merger. Order is FIFO
+//!   along the chain. If a downstream worker dies, the upstream one
+//!   finishes batches locally; if the chain head dies, the dispatcher
+//!   processes inline — degraded but never wedged.
+//!
+//! The merge counter is engaged for reordering policies and whenever
+//! faults, shedding or recovery lanes are possible; otherwise results
+//! stream through unbuffered.
 //!
 //! # Transports
 //!
@@ -52,8 +75,7 @@
 //!   end of stream, releasing every parked successor. Skipped IDs are
 //!   reported in [`RunOutput::flushed_mfs`].
 //! * **Duplication / late arrival** — rejected by the merge counter and
-//!   reported in [`RunOutput::merge_dup_drops`] /
-//!   [`RunOutput::merge_late_drops`].
+//!   reported in the [`Telemetry`] `dup` / `late` counters.
 //!
 //! The output is always an ordered, duplicate-free subsequence of the
 //! serial output; what is missing is exactly accounted for by the
@@ -65,13 +87,15 @@ use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mflow::{MergeCounter, MfTag};
+use mflow::{ElephantConfig, MergeCounter, MergeStats, MflowLanes, MfTag};
 use mflow_error::MflowError;
+use mflow_metrics::Telemetry;
+use mflow_steering::{build_baseline, PolicyKind, SteeringPolicy};
 
 use crate::faults::RuntimeFaults;
 use crate::packet::Frame;
 use crate::ring::{self, MuxRecvError, RingConsumer, RingMux, RingProducer, RingSendError};
-use crate::work::{process_frame, PacketResult};
+use crate::work::{process_frame, stage_group_sizes, PacketResult, StagedWork};
 
 /// Which cross-core handoff primitive carries batches and results.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -138,6 +162,9 @@ pub struct RuntimeConfig {
     /// channel's bound, under `Ring` each producer's ring holds this
     /// many.
     pub merger_depth: usize,
+    /// Which steering policy drives dispatch (lane choice, chain
+    /// topology, merger engagement).
+    pub policy: PolicyKind,
 }
 
 impl Default for RuntimeConfig {
@@ -151,6 +178,7 @@ impl Default for RuntimeConfig {
             inline_fallback: false,
             transport: Transport::Mpsc,
             merger_depth: 4096,
+            policy: PolicyKind::Mflow,
         }
     }
 }
@@ -186,74 +214,57 @@ impl RuntimeConfig {
     }
 }
 
-/// The outcome of a pipeline run.
+/// The outcome of a pipeline run: the shared [`Telemetry`] counter block
+/// plus the runtime engine's extension fields. All the cross-engine
+/// counters (delivered, ooo, flushed, late, dup, shed, inline, desplits,
+/// redispatched, fault drops, residue, lane depths) live in
+/// [`RunOutput::telemetry`]; only runtime-specific detail stays here.
 #[derive(Clone, Debug)]
 pub struct RunOutput {
     /// Results in emission order.
     pub digests: Vec<PacketResult>,
     /// Wall-clock processing time.
     pub elapsed: Duration,
-    /// Inversions observed at the merger input (before reassembly) — the
-    /// runtime analogue of the paper's Figure 7 y-axis.
-    pub ooo_at_merge: u64,
-    /// Micro-flow IDs the merger flushed past instead of waiting forever.
+    /// Micro-flow IDs the merger flushed past instead of waiting forever
+    /// (the `flushed` counter is this list's length).
     pub flushed_mfs: Vec<u64>,
-    /// Results the merger rejected for arriving after their micro-flow
-    /// was already passed.
-    pub merge_late_drops: u64,
-    /// Results the merger rejected as duplicate copies.
-    pub merge_dup_drops: u64,
-    /// Packets the fault injector deleted at dispatch.
-    pub fault_drops: u64,
-    /// Batches redispatched onto recovery lanes after a worker died.
-    pub redispatched: u64,
     /// Worker threads that panicked during the run.
     pub workers_died: usize,
-    /// Results still parked in the merger after the final flush (always 0
-    /// unless flushing was disabled).
-    pub merge_residue: usize,
-    /// Packets shed by the `DropTail` policy (whole batches only).
-    pub shed_packets: u64,
     /// Each shed batch as `(micro-flow id, lane)` — the lane whose
     /// saturation caused the shed.
     pub sheds: Vec<(u64, usize)>,
-    /// Batches processed inline on the dispatcher thread.
+    /// Batches processed inline on the dispatcher thread (the packet
+    /// count is the telemetry `inline` counter).
     pub inline_batches: u64,
-    /// Packets processed inline on the dispatcher thread.
-    pub inline_packets: u64,
     /// Times a `DropTail` dispatcher exhausted its budget and fell back
     /// to blocking.
     pub block_fallbacks: u64,
     /// Times the backpressure policy engaged (watermark hit or queue
     /// full), regardless of what it then did.
     pub backpressure_events: u64,
-    /// End-of-run per-lane queue depths. All zero for every completed
-    /// parallel run: live lanes drain to empty, dead lanes are zeroed
-    /// when the death is discovered. (Empty for serial runs, which have
-    /// no lanes.)
-    pub lane_depths: Vec<usize>,
+    /// The shared counter block. `lane_depths` are end-of-run per-lane
+    /// queue depths — all zero for every completed parallel run: live
+    /// lanes drain to empty, dead lanes are zeroed when the death is
+    /// discovered. (Empty for serial runs, which have no lanes.)
+    pub telemetry: Telemetry,
 }
 
 impl RunOutput {
-    fn new(digests: Vec<PacketResult>, elapsed: Duration, ooo_at_merge: u64) -> Self {
+    fn new(digests: Vec<PacketResult>, elapsed: Duration, policy: &str) -> Self {
+        let telemetry = Telemetry {
+            delivered: digests.len() as u64,
+            ..Telemetry::new(policy)
+        };
         Self {
             digests,
             elapsed,
-            ooo_at_merge,
             flushed_mfs: Vec::new(),
-            merge_late_drops: 0,
-            merge_dup_drops: 0,
-            fault_drops: 0,
-            redispatched: 0,
             workers_died: 0,
-            merge_residue: 0,
-            shed_packets: 0,
             sheds: Vec::new(),
             inline_batches: 0,
-            inline_packets: 0,
             block_fallbacks: 0,
             backpressure_events: 0,
-            lane_depths: Vec::new(),
+            telemetry,
         }
     }
 }
@@ -262,30 +273,45 @@ impl RunOutput {
 pub fn process_serial(frames: &[Frame]) -> RunOutput {
     let start = Instant::now();
     let digests = frames.iter().map(process_frame).collect();
-    RunOutput::new(digests, start.elapsed(), 0)
+    RunOutput::new(digests, start.elapsed(), "serial")
+}
+
+/// Instantiates the [`SteeringPolicy`] for a [`PolicyKind`]: baselines
+/// come from `mflow-steering`, MFLOW itself from the `mflow` crate
+/// (always-split elephant detection, as in the paper's single-flow
+/// experiments).
+fn build_policy(kind: PolicyKind) -> Result<Box<dyn SteeringPolicy>, MflowError> {
+    match build_baseline(kind) {
+        Some(p) => Ok(p),
+        None => Ok(Box::new(MflowLanes::try_new(ElephantConfig::always())?)),
+    }
 }
 
 /// One micro-flow's tagged frames, as sent to a worker.
 type Batch = Vec<(MfTag, Frame)>;
+/// One micro-flow part-way through the staged pipeline, as forwarded
+/// between FALCON chain workers.
+type StageBatch = Vec<(MfTag, StagedWork)>;
 /// One processed packet, as sent to the merger.
 type Merged = (MfTag, PacketResult);
 
-/// Dispatcher-side sending half of one worker lane.
-enum LaneTx {
-    Mpsc(SyncSender<Batch>),
-    Ring(RingProducer<Batch>),
+/// Sending half of one SPSC lane (dispatcher→worker batches, or
+/// worker→worker staged batches along a FALCON chain).
+enum LaneTx<B> {
+    Mpsc(SyncSender<B>),
+    Ring(RingProducer<B>),
 }
 
 /// Outcome of a transport-level non-blocking send.
-enum LaneTrySend {
+enum LaneTrySend<B> {
     Sent,
-    Full(Batch),
-    Closed(Batch),
+    Full(B),
+    Closed(B),
 }
 
-impl LaneTx {
-    /// Blocking send; hands the batch back when the worker is gone.
-    fn send(&mut self, batch: Batch) -> Result<(), Batch> {
+impl<B> LaneTx<B> {
+    /// Blocking send; hands the batch back when the consumer is gone.
+    fn send(&mut self, batch: B) -> Result<(), B> {
         match self {
             LaneTx::Mpsc(tx) => tx.send(batch).map_err(|mpsc::SendError(b)| b),
             LaneTx::Ring(tx) => tx.push(batch),
@@ -293,7 +319,7 @@ impl LaneTx {
     }
 
     /// Non-blocking send.
-    fn try_send(&mut self, batch: Batch) -> LaneTrySend {
+    fn try_send(&mut self, batch: B) -> LaneTrySend<B> {
         match self {
             LaneTx::Mpsc(tx) => match tx.try_send(batch) {
                 Ok(()) => LaneTrySend::Sent,
@@ -309,19 +335,33 @@ impl LaneTx {
     }
 }
 
-/// Worker-side receiving half of one lane.
-enum LaneRx {
-    Mpsc(mpsc::Receiver<Batch>),
-    Ring(RingConsumer<Batch>),
+/// Receiving half of one lane.
+enum LaneRx<B> {
+    Mpsc(mpsc::Receiver<B>),
+    Ring(RingConsumer<B>),
 }
 
-impl LaneRx {
-    /// Blocking receive; `None` once the dispatcher dropped its half and
+impl<B> LaneRx<B> {
+    /// Blocking receive; `None` once the producer dropped its half and
     /// the queue is drained.
-    fn recv(&mut self) -> Option<Batch> {
+    fn recv(&mut self) -> Option<B> {
         match self {
             LaneRx::Mpsc(rx) => rx.recv().ok(),
             LaneRx::Ring(rx) => rx.pop(),
+        }
+    }
+}
+
+/// Creates one SPSC lane over the configured transport.
+fn spsc_lane<B: Send>(transport: Transport, depth: usize) -> (LaneTx<B>, LaneRx<B>) {
+    match transport {
+        Transport::Mpsc => {
+            let (tx, rx) = mpsc::sync_channel::<B>(depth);
+            (LaneTx::Mpsc(tx), LaneRx::Mpsc(rx))
+        }
+        Transport::Ring => {
+            let (tx, rx) = ring::spsc::<B>(depth);
+            (LaneTx::Ring(tx), LaneRx::Ring(rx))
         }
     }
 }
@@ -391,7 +431,7 @@ impl MergeRx {
 
 /// Dispatcher-side view of one worker queue.
 struct Lane {
-    tx: Option<LaneTx>,
+    tx: Option<LaneTx<Batch>>,
     /// Copies of the most recently sent batches (faulty runs only): the
     /// batches that may still sit unprocessed in the queue when the
     /// worker dies, and must be redispatched. Capacity `queue_depth + 2`
@@ -433,6 +473,12 @@ struct Dispatcher<'a> {
     inline_packets: u64,
     block_fallbacks: u64,
     backpressure_events: u64,
+    /// Chain mode: batches that lost their only reachable worker are
+    /// handed back for inline processing instead of being dropped (the
+    /// chain has exactly one entry lane, so "no live worker" does not
+    /// mean the pipeline is dead — the dispatcher itself still is).
+    orphan_inline: bool,
+    orphans: Vec<Batch>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -441,6 +487,7 @@ impl<'a> Dispatcher<'a> {
         faults: &RuntimeFaults,
         cfg: &RuntimeConfig,
         depths: &'a [AtomicUsize],
+        orphan_inline: bool,
     ) -> Self {
         let n = lanes.len();
         Self {
@@ -467,7 +514,15 @@ impl<'a> Dispatcher<'a> {
             inline_packets: 0,
             block_fallbacks: 0,
             backpressure_events: 0,
+            orphan_inline,
+            orphans: Vec::new(),
         }
+    }
+
+    /// Batches with no reachable worker, handed back for inline
+    /// processing (chain mode only; empty otherwise).
+    fn take_orphans(&mut self) -> Vec<Batch> {
+        std::mem::take(&mut self.orphans)
     }
 
     /// Marks a lane dead and zeroes its depth counter: batches still
@@ -611,9 +666,16 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// Retags a lost batch onto a fresh recovery lane and targets the
-    /// next live worker. Returns `None` when no workers are left.
+    /// next live worker. Returns `None` when no workers are left — in
+    /// chain mode the batch is parked for inline processing instead of
+    /// being dropped.
     fn reroute(&mut self, batch: Batch, was_recovery: bool) -> Option<(usize, Batch, bool)> {
-        let target = self.pick_live_worker()?;
+        let Some(target) = self.pick_live_worker() else {
+            if self.orphan_inline {
+                self.orphans.push(batch);
+            }
+            return None;
+        };
         let batch = if was_recovery {
             // Already on a unique recovery lane; keep its tags.
             batch
@@ -646,11 +708,14 @@ impl<'a> Dispatcher<'a> {
         None
     }
 
-    /// Sends a recovery-tagged copy of `batch` to the next live worker.
+    /// Sends a recovery-tagged copy of `batch` to the next live worker
+    /// (parked for inline processing in chain mode when none is left).
     fn send_recovery(&mut self, batch: Batch) {
         let retagged = self.retag(batch);
         if let Some(target) = self.pick_live_worker() {
             self.send(target, retagged);
+        } else if self.orphan_inline {
+            self.orphans.push(retagged);
         }
     }
 
@@ -660,14 +725,81 @@ impl<'a> Dispatcher<'a> {
     }
 }
 
+/// Applies the injected per-worker faults for one received batch;
+/// panics for an injected death (caught and counted at join).
+fn apply_worker_faults(
+    faults: &RuntimeFaults,
+    worker: usize,
+    processed: u64,
+    first_mf: Option<u64>,
+) {
+    if let Some(kill) = faults.kill {
+        if kill.worker == worker && processed >= kill.after_batches {
+            // The injected death: an abrupt panic that drops the queues.
+            panic!("injected worker death");
+        }
+    }
+    if let Some(stall) = faults.lane_stall {
+        if stall.worker == worker {
+            // Sustained pressure: every batch pays.
+            thread::sleep(Duration::from_millis(stall.ms));
+        }
+    }
+    if let Some(slow) = faults.slow_worker {
+        if slow.worker == worker {
+            thread::sleep(Duration::from_micros(slow.per_batch_us));
+        }
+    }
+    if let Some(id) = first_mf {
+        if faults.stalls_on(id) {
+            thread::sleep(Duration::from_millis(faults.stall_ms));
+        }
+    }
+}
+
+/// Completes every remaining stage of a staged batch and publishes the
+/// results. `Err` when the merger is gone.
+fn complete_to_merger(merge: &mut MergeTx, staged: StageBatch) -> Result<(), ()> {
+    let results: Vec<Merged> = staged
+        .into_iter()
+        .map(|(tag, w)| (tag, w.complete()))
+        .collect();
+    merge.send_all(results)
+}
+
+/// Forwards a staged batch down a FALCON chain. When the next hop has
+/// died, the remaining stages are completed locally and the results go
+/// straight to the merger — this worker's merger sends stay FIFO, so
+/// order survives the degradation. `Err` when the merger itself is gone.
+fn forward_staged(
+    next: &mut Option<LaneTx<StageBatch>>,
+    merge: &mut MergeTx,
+    staged: StageBatch,
+) -> Result<(), ()> {
+    if let Some(tx) = next {
+        match tx.send(staged) {
+            Ok(()) => return Ok(()),
+            Err(bounced) => {
+                // Downstream death discovered: finish locally from now
+                // on (in-queue batches at the dead hop are lost and
+                // flushed by the merge counter).
+                *next = None;
+                return complete_to_merger(merge, bounced);
+            }
+        }
+    }
+    complete_to_merger(merge, staged)
+}
+
 /// MFLOW pipeline: split into micro-flows, process on `workers` threads,
 /// merge back in order. Equivalent to [`process_parallel_faulty`] with
 /// [`RuntimeFaults::none`].
 ///
 /// Returns [`MflowError::InvalidConfig`] for a malformed configuration,
 /// [`MflowError::MergerPoisoned`] if the merge stage panics, and
-/// [`MflowError::NoLiveWorkers`] when every worker died with input still
-/// pending.
+/// [`MflowError::NoLiveWorkers`] when every fan-out worker died with
+/// input still pending (chain policies instead fall back to inline
+/// processing on the dispatcher).
 pub fn process_parallel(frames: &[Frame], cfg: &RuntimeConfig) -> Result<RunOutput, MflowError> {
     process_parallel_faulty(frames, cfg, &RuntimeFaults::none())
 }
@@ -681,8 +813,18 @@ pub fn process_parallel_faulty(
     faults: &RuntimeFaults,
 ) -> Result<RunOutput, MflowError> {
     cfg.validate()?;
+    let mut policy = build_policy(cfg.policy)?;
     let start = Instant::now();
     let n_workers = cfg.workers;
+    // FALCON pipelines stages across a worker chain instead of fanning
+    // batches out: one entry lane, min(stage groups, workers) workers.
+    let chain_len = if policy.stage_groups() >= 2 {
+        policy.stage_groups().min(n_workers)
+    } else {
+        0
+    };
+    let n_lanes = if chain_len > 0 { 1 } else { n_workers };
+    let n_threads = if chain_len > 0 { chain_len } else { n_workers };
     // DropTail removes whole micro-flows from the stream, which stalls
     // the merge counter exactly like injected loss does, and any policy
     // that can go inline (Inline itself, DropTail's inline fallback)
@@ -696,44 +838,38 @@ pub fn process_parallel_faulty(
     } else {
         None
     };
+    // The merge counter is only needed when arrivals can leave original
+    // order: a policy that interleaves one flow across lanes, or any run
+    // where faults / shedding / recovery lanes can perturb the stream.
+    // Otherwise per-lane FIFO carries order end to end and the merger
+    // streams results through unbuffered.
+    let use_counter = policy.reorders() || faults.is_active() || can_shed_or_recover;
 
     // Dispatcher -> worker lanes (SPSC: one producer, one consumer each).
-    let mut lanes = Vec::with_capacity(n_workers);
-    let mut lane_rx = Vec::with_capacity(n_workers);
-    for _ in 0..n_workers {
-        match cfg.transport {
-            Transport::Mpsc => {
-                let (tx, rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
-                lanes.push(Lane {
-                    tx: Some(LaneTx::Mpsc(tx)),
-                    recent: VecDeque::new(),
-                });
-                lane_rx.push(LaneRx::Mpsc(rx));
-            }
-            Transport::Ring => {
-                let (tx, rx) = ring::spsc::<Batch>(cfg.queue_depth);
-                lanes.push(Lane {
-                    tx: Some(LaneTx::Ring(tx)),
-                    recent: VecDeque::new(),
-                });
-                lane_rx.push(LaneRx::Ring(rx));
-            }
-        }
+    let mut lanes = Vec::with_capacity(n_lanes);
+    let mut lane_rx = Vec::with_capacity(n_lanes);
+    for _ in 0..n_lanes {
+        let (tx, rx) = spsc_lane::<Batch>(cfg.transport, cfg.queue_depth);
+        lanes.push(Lane {
+            tx: Some(tx),
+            recent: VecDeque::new(),
+        });
+        lane_rx.push(rx);
     }
     // Workers (plus the dispatcher's inline lane) -> merger: one shared
     // MPSC channel, or one SPSC ring per producer fanned into a mux.
-    let mut worker_merge_tx: Vec<MergeTx> = Vec::with_capacity(n_workers);
+    let mut worker_merge_tx: Vec<MergeTx> = Vec::with_capacity(n_threads);
     let (dispatch_merge_tx, merge_rx) = match cfg.transport {
         Transport::Mpsc => {
             let (tx, rx) = mpsc::sync_channel::<Merged>(cfg.merger_depth);
-            for _ in 0..n_workers {
+            for _ in 0..n_threads {
                 worker_merge_tx.push(MergeTx::Mpsc(tx.clone()));
             }
             (MergeTx::Mpsc(tx), MergeRx::Mpsc(rx))
         }
         Transport::Ring => {
-            let (mut txs, mux) = ring::ring_mux::<Merged>(n_workers + 1, cfg.merger_depth);
-            let dispatch = txs.pop().expect("n_workers + 1 rings");
+            let (mut txs, mux) = ring::ring_mux::<Merged>(n_threads + 1, cfg.merger_depth);
+            let dispatch = txs.pop().expect("n_threads + 1 rings");
             for tx in txs {
                 worker_merge_tx.push(MergeTx::Ring(tx));
             }
@@ -741,64 +877,125 @@ pub fn process_parallel_faulty(
         }
     };
     // Per-lane queue depths, the watermark signal for backpressure.
-    let depths: Vec<AtomicUsize> = (0..n_workers).map(|_| AtomicUsize::new(0)).collect();
+    let depths: Vec<AtomicUsize> = (0..n_lanes).map(|_| AtomicUsize::new(0)).collect();
     let depths = &depths;
 
     let scope_out = thread::scope(|s| {
-        // Workers: the "splitting cores".
-        let mut handles = Vec::with_capacity(n_workers);
-        for (worker, (mut rx, mut tx)) in
-            lane_rx.into_iter().zip(worker_merge_tx).enumerate()
-        {
+        let mut handles = Vec::with_capacity(n_threads);
+        if chain_len > 0 {
+            // FALCON chain: worker i applies stage group i, forwards to
+            // worker i+1; the tail publishes to the merger. Each worker
+            // also holds a merger sender for the local-completion
+            // fallback after a downstream death.
+            let group_sizes = stage_group_sizes(chain_len);
+            let mut link_tx: Vec<LaneTx<StageBatch>> = Vec::new();
+            let mut link_rx_q: VecDeque<LaneRx<StageBatch>> = VecDeque::new();
+            for _ in 1..chain_len {
+                let (tx, rx) = spsc_lane::<StageBatch>(cfg.transport, cfg.queue_depth);
+                link_tx.push(tx);
+                link_rx_q.push_back(rx);
+            }
+            let mut link_tx_q: VecDeque<LaneTx<StageBatch>> = link_tx.into();
+            let mut merge_txs = worker_merge_tx.into_iter();
+
+            // Head: consumes dispatcher batches, applies the first group.
+            let rx = lane_rx.pop().expect("one dispatcher lane in chain mode");
+            let tx = merge_txs.next().expect("merge tx per chain worker");
+            let next = link_tx_q.pop_front();
+            let head_group = group_sizes[0];
             handles.push(s.spawn(move || {
+                let (mut rx, mut tx, mut next) = (rx, tx, next);
                 let mut processed = 0u64;
                 while let Some(batch) = rx.recv() {
-                    depths[worker].fetch_sub(1, Ordering::Relaxed);
-                    if let Some(kill) = faults.kill {
-                        if kill.worker == worker && processed >= kill.after_batches {
-                            // The injected death: an abrupt panic that
-                            // drops the queue and the merger sender.
-                            panic!("injected worker death");
-                        }
-                    }
-                    if let Some(stall) = faults.lane_stall {
-                        if stall.worker == worker {
-                            // Sustained pressure: every batch pays.
-                            thread::sleep(Duration::from_millis(stall.ms));
-                        }
-                    }
-                    if let Some(slow) = faults.slow_worker {
-                        if slow.worker == worker {
-                            thread::sleep(Duration::from_micros(slow.per_batch_us));
-                        }
-                    }
-                    if let Some((tag, _)) = batch.first() {
-                        if faults.stalls_on(tag.id) {
-                            thread::sleep(Duration::from_millis(faults.stall_ms));
-                        }
-                    }
-                    // Whole-batch processing, whole-batch publish: one
-                    // merge-side handoff per micro-flow, not per packet.
-                    let mut results = Vec::with_capacity(batch.len());
-                    for (tag, frame) in batch {
-                        results.push((tag, process_frame(&frame)));
-                    }
-                    if tx.send_all(results).is_err() {
-                        // Merger gone; nothing useful left to do.
+                    depths[0].fetch_sub(1, Ordering::Relaxed);
+                    apply_worker_faults(faults, 0, processed, batch.first().map(|(t, _)| t.id));
+                    let staged: StageBatch = batch
+                        .into_iter()
+                        .map(|(tag, frame)| (tag, StagedWork::Raw(frame).advance_n(head_group)))
+                        .collect();
+                    if forward_staged(&mut next, &mut tx, staged).is_err() {
                         return;
                     }
                     processed += 1;
                 }
             }));
+            // Interior and tail workers.
+            for (worker, my_group) in group_sizes.into_iter().enumerate().skip(1) {
+                let rx = link_rx_q.pop_front().expect("link per chain worker");
+                let tx = merge_txs.next().expect("merge tx per chain worker");
+                let next = link_tx_q.pop_front();
+                handles.push(s.spawn(move || {
+                    let (mut rx, mut tx, mut next) = (rx, tx, next);
+                    let mut processed = 0u64;
+                    while let Some(staged) = rx.recv() {
+                        apply_worker_faults(
+                            faults,
+                            worker,
+                            processed,
+                            staged.first().map(|(t, _)| t.id),
+                        );
+                        let staged: StageBatch = staged
+                            .into_iter()
+                            .map(|(tag, w)| (tag, w.advance_n(my_group)))
+                            .collect();
+                        if forward_staged(&mut next, &mut tx, staged).is_err() {
+                            return;
+                        }
+                        processed += 1;
+                    }
+                }));
+            }
+        } else {
+            // Fan-out: the "splitting cores", one full-pipeline worker
+            // per lane.
+            for (worker, (rx, tx)) in lane_rx.into_iter().zip(worker_merge_tx).enumerate() {
+                handles.push(s.spawn(move || {
+                    let (mut rx, mut tx) = (rx, tx);
+                    let mut processed = 0u64;
+                    while let Some(batch) = rx.recv() {
+                        depths[worker].fetch_sub(1, Ordering::Relaxed);
+                        apply_worker_faults(
+                            faults,
+                            worker,
+                            processed,
+                            batch.first().map(|(t, _)| t.id),
+                        );
+                        // Whole-batch processing, whole-batch publish: one
+                        // merge-side handoff per micro-flow, not per packet.
+                        let mut results = Vec::with_capacity(batch.len());
+                        for (tag, frame) in batch {
+                            results.push((tag, process_frame(&frame)));
+                        }
+                        if tx.send_all(results).is_err() {
+                            // Merger gone; nothing useful left to do.
+                            return;
+                        }
+                        processed += 1;
+                    }
+                }));
+            }
         }
 
-        // Merger thread: merging-counter reassembly with flush recovery.
+        // Merger thread: merging-counter reassembly with flush recovery,
+        // or plain passthrough when order cannot be perturbed.
         let merger = s.spawn(move || {
             let mut merge_rx = merge_rx;
-            let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
             let mut out = Vec::new();
             let mut max_seen: Option<u64> = None;
             let mut ooo = 0u64;
+            if !use_counter {
+                while let MergeRecv::Item((_tag, result)) = merge_rx.recv(None) {
+                    if let Some(m) = max_seen {
+                        if result.seq < m {
+                            ooo += 1;
+                        }
+                    }
+                    max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
+                    out.push(result);
+                }
+                return (out, MergeStats::default(), ooo, Vec::new());
+            }
+            let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
             loop {
                 let (tag, result) = match merge_rx.recv(flush_timeout) {
                     MergeRecv::Item(msg) => msg,
@@ -825,11 +1022,11 @@ pub fn process_parallel_faulty(
                 mc.flush_stalled(&mut out);
             }
             let flushed: Vec<u64> = mc.flushed_ids().iter().copied().collect();
-            (out, mc.buffered(), ooo, flushed, mc.late_drops(), mc.dup_drops())
+            (out, mc.stats(), ooo, flushed)
         });
 
         // Dispatcher: this thread plays the IRQ core's first half.
-        let mut d = Dispatcher::new(lanes, faults, cfg, depths);
+        let mut d = Dispatcher::new(lanes, faults, cfg, depths, chain_len > 0);
         let mut dispatch_tx = dispatch_merge_tx;
         // Batches the policy handed back are processed right here on the
         // dispatcher thread, retagged onto fresh recovery lanes so the
@@ -848,6 +1045,8 @@ pub fn process_parallel_faulty(
         let mut fault_drops = 0u64;
         let mut mf_id = 0u64;
         let mut lane = 0usize;
+        let mut cur_hash = 0u32;
+        let mut depth_snap = vec![0usize; n_lanes];
         let mut batch: Batch = Vec::with_capacity(cfg.batch_size);
         let mut delayed: Vec<(u64, Batch)> = Vec::new();
         let n = frames.len();
@@ -856,12 +1055,22 @@ pub fn process_parallel_faulty(
             if faults.drops_packet(mf_id, frame.seq, last) {
                 fault_drops += 1;
             } else {
+                if batch.is_empty() {
+                    // A micro-flow opens: ask the policy for its lane,
+                    // with a fresh view of per-lane occupancy.
+                    cur_hash = frame.flow_hash();
+                    for (snap, depth) in depth_snap.iter_mut().zip(depths.iter()) {
+                        *snap = depth.load(Ordering::Relaxed);
+                    }
+                    lane = policy.steer(mf_id, cur_hash, &depth_snap).min(n_lanes - 1);
+                }
                 batch.push((MfTag { id: mf_id, lane, last }, frame.clone()));
             }
             if last {
                 let full = std::mem::take(&mut batch);
                 batch.reserve(cfg.batch_size);
                 if !full.is_empty() {
+                    let placed = full.len();
                     if faults.is_active() && faults.delays_mf(mf_id) {
                         // Held back: will be redispatched on a recovery
                         // lane `late_by` batches from now.
@@ -872,6 +1081,9 @@ pub fn process_parallel_faulty(
                     } else if let Some(b) = d.offer(lane, full) {
                         process_inline(&mut d, &mut dispatch_tx, b);
                     }
+                    // Completion feedback: the policy hears what it
+                    // placed (rate accounting for elephant detection).
+                    policy.observe(mf_id, cur_hash, lane, placed);
                 }
                 let due: Vec<Batch> = {
                     let mut rest = Vec::new();
@@ -889,13 +1101,20 @@ pub fn process_parallel_faulty(
                 for b in due {
                     d.send_recovery(b);
                 }
+                // Chain mode: batches that lost their only worker come
+                // back for inline processing instead of being dropped.
+                for b in d.take_orphans() {
+                    process_inline(&mut d, &mut dispatch_tx, b);
+                }
                 mf_id += 1;
-                lane = (lane + 1) % n_workers;
             }
         }
         // Anything still held back goes out now, late but present.
         for (_, b) in delayed {
             d.send_recovery(b);
+        }
+        for b in d.take_orphans() {
+            process_inline(&mut d, &mut dispatch_tx, b);
         }
         let shed_packets = d.shed_packets;
         let sheds = std::mem::take(&mut d.sheds);
@@ -917,7 +1136,9 @@ pub fn process_parallel_faulty(
         for (worker, h) in handles.into_iter().enumerate() {
             if h.join().is_err() {
                 workers_died += 1;
-                depths[worker].store(0, Ordering::Relaxed);
+                if worker < n_lanes {
+                    depths[worker].store(0, Ordering::Relaxed);
+                }
             }
         }
         let lane_depths: Vec<usize> =
@@ -944,32 +1165,43 @@ pub fn process_parallel_faulty(
             ),
         ))
     });
-    let (out, fault_drops, redispatched, workers_died, lane_depths, bp) = scope_out?;
+    let (merged, fault_drops, redispatched, workers_died, lane_depths, bp) = scope_out?;
     let (shed_packets, sheds, inline_batches, inline_packets, block_fallbacks, backpressure_events) =
         bp;
-    if n_workers > 0 && workers_died == n_workers && !frames.is_empty() {
+    // A chain run survives total worker loss through the dispatcher's
+    // inline fallback; a fan-out run cannot deliver the remainder.
+    if chain_len == 0 && workers_died == n_threads && !frames.is_empty() {
         return Err(MflowError::NoLiveWorkers);
     }
 
-    let (digests, residue, ooo, flushed_mfs, late_drops, dup_drops) = out;
+    let (digests, mstats, ooo, flushed_mfs) = merged;
+    let (desplits, resplits) = policy.desplit_stats();
+    let telemetry = Telemetry {
+        policy: policy.name().to_string(),
+        delivered: digests.len() as u64,
+        ooo,
+        flushed: flushed_mfs.len() as u64,
+        late: mstats.late_drops,
+        dup: mstats.dup_drops,
+        shed: shed_packets,
+        inline: inline_packets,
+        desplits,
+        resplits,
+        redispatched,
+        fault_drops,
+        residue: mstats.residue,
+        lane_depths: lane_depths.iter().map(|&d| d as u64).collect(),
+    };
     Ok(RunOutput {
         digests,
         elapsed: start.elapsed(),
-        ooo_at_merge: ooo,
         flushed_mfs,
-        merge_late_drops: late_drops,
-        merge_dup_drops: dup_drops,
-        fault_drops,
-        redispatched,
         workers_died,
-        merge_residue: residue,
-        shed_packets,
         sheds,
         inline_batches,
-        inline_packets,
         block_fallbacks,
         backpressure_events,
-        lane_depths,
+        telemetry,
     })
 }
 
@@ -993,9 +1225,9 @@ mod tests {
                 "order or content diverged with {cfg:?}"
             );
             assert!(
-                parallel.lane_depths.iter().all(|&d| d == 0),
+                parallel.telemetry.lane_depths.iter().all(|&d| d == 0),
                 "stale end-of-run depths {:?} with {cfg:?}",
-                parallel.lane_depths
+                parallel.telemetry.lane_depths
             );
         }
     }
@@ -1056,7 +1288,7 @@ mod tests {
             };
             let out = process_parallel(&[], &cfg).unwrap();
             assert!(out.digests.is_empty());
-            assert_eq!(out.ooo_at_merge, 0);
+            assert_eq!(out.telemetry.ooo, 0);
         }
     }
 
@@ -1104,9 +1336,9 @@ mod tests {
                 },
             )
             .unwrap();
-            assert_eq!(large.ooo_at_merge, 0, "single batch cannot interleave");
+            assert_eq!(large.telemetry.ooo, 0, "single batch cannot interleave");
             assert!(
-                small.ooo_at_merge > 0,
+                small.telemetry.ooo > 0,
                 "1-packet batches over 4 threads should interleave at least once ({transport:?})"
             );
         }
@@ -1157,10 +1389,10 @@ mod tests {
             .unwrap();
             assert_eq!(out.digests, serial.digests);
             assert!(out.flushed_mfs.is_empty());
-            assert_eq!(out.fault_drops, 0);
+            assert_eq!(out.telemetry.fault_drops, 0);
             assert_eq!(out.workers_died, 0);
-            assert_eq!(out.merge_residue, 0);
-            assert_eq!(out.shed_packets, 0);
+            assert_eq!(out.telemetry.residue, 0);
+            assert_eq!(out.telemetry.shed, 0);
             assert_eq!(out.backpressure_events, 0);
         }
     }
@@ -1189,12 +1421,12 @@ mod tests {
             .unwrap();
             assert_eq!(out.workers_died, 1);
             assert!(!out.digests.is_empty());
-            assert_eq!(out.merge_residue, 0, "end flush must empty the merger");
+            assert_eq!(out.telemetry.residue, 0, "end flush must empty the merger");
             // The dead lane's counter must not report phantom load.
             assert!(
-                out.lane_depths.iter().all(|&d| d == 0),
+                out.telemetry.lane_depths.iter().all(|&d| d == 0),
                 "stale depth after worker death: {:?} ({transport:?})",
-                out.lane_depths
+                out.telemetry.lane_depths
             );
             // Output must be a strictly ordered, duplicate-free subsequence.
             for pair in out.digests.windows(2) {
@@ -1325,7 +1557,7 @@ mod tests {
             .unwrap();
             assert_eq!(out.digests, serial.digests);
             assert!(out.inline_batches > 0, "watermark 1 must engage inline");
-            assert_eq!(out.shed_packets, 0);
+            assert_eq!(out.telemetry.shed, 0);
         }
     }
 
@@ -1351,7 +1583,108 @@ mod tests {
             .unwrap();
             assert_eq!(out.digests, serial.digests);
             assert!(out.block_fallbacks > 0);
-            assert_eq!(out.shed_packets, 0);
+            assert_eq!(out.telemetry.shed, 0);
         }
+    }
+
+    #[test]
+    fn every_policy_matches_serial_output() {
+        // The tentpole invariant: whatever the steering policy, the
+        // delivered stream on a benign run equals the serial run exactly,
+        // and non-reordering policies see zero merge disturbance.
+        let frames = generate_frames(2_000, 64);
+        let serial = process_serial(&frames);
+        for transport in TRANSPORTS {
+            for policy in PolicyKind::ALL {
+                let out = process_parallel(
+                    &frames,
+                    &RuntimeConfig {
+                        workers: 4,
+                        batch_size: 32,
+                        queue_depth: 4,
+                        policy,
+                        transport,
+                        ..RuntimeConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    out.digests, serial.digests,
+                    "{policy} diverged ({transport:?})"
+                );
+                assert_eq!(out.telemetry.policy, policy.name());
+                assert_eq!(out.telemetry.delivered, frames.len() as u64);
+                if !policy.reorders() {
+                    assert_eq!(out.telemetry.ooo, 0, "{policy} must not reorder");
+                    assert!(out.flushed_mfs.is_empty(), "{policy} must not flush");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn falcon_chain_survives_worker_death() {
+        // Killing any link of the stage chain must degrade, not wedge:
+        // upstream finishes locally (tail death) or the dispatcher goes
+        // inline (head death). Order survives either way.
+        let frames = generate_frames(3_000, 32);
+        for transport in TRANSPORTS {
+            for dead_worker in 0..3 {
+                let mut faults = RuntimeFaults::none();
+                faults.kill = Some(WorkerKill {
+                    worker: dead_worker,
+                    after_batches: 2,
+                });
+                faults.flush_timeout_ms = Some(50);
+                let out = process_parallel_faulty(
+                    &frames,
+                    &RuntimeConfig {
+                        workers: 3,
+                        batch_size: 64,
+                        queue_depth: 4,
+                        policy: PolicyKind::FalconFunc,
+                        transport,
+                        ..RuntimeConfig::default()
+                    },
+                    &faults,
+                )
+                .unwrap();
+                assert_eq!(out.workers_died, 1, "worker {dead_worker} ({transport:?})");
+                assert!(!out.digests.is_empty());
+                for pair in out.digests.windows(2) {
+                    assert!(
+                        pair[0].seq < pair[1].seq,
+                        "disorder after killing chain worker {dead_worker} ({transport:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_mode_uses_one_entry_lane() {
+        // FALCON runs report one dispatcher lane regardless of the
+        // worker count — stages consume the cores instead.
+        let frames = generate_frames(500, 32);
+        let out = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers: 4,
+                policy: PolicyKind::FalconDev,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.telemetry.lane_depths.len(), 1);
+        let fanout = process_parallel(
+            &frames,
+            &RuntimeConfig {
+                workers: 4,
+                policy: PolicyKind::Rps,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fanout.telemetry.lane_depths.len(), 4);
     }
 }

@@ -25,20 +25,108 @@ pub struct PacketResult {
 /// Panics on a malformed frame — the runtime generates its own valid
 /// traffic, so corruption here is a bug, not an input error.
 pub fn process_frame(frame: &Frame) -> PacketResult {
+    let (seq, payload) = parse_stage(frame);
+    let payload = csum_stage(payload);
+    digest_stage(seq, payload)
+}
+
+/// How many pipelined stages [`process_frame`] decomposes into: parse,
+/// checksum, digest. FALCON chains contiguous groups of these across
+/// workers instead of fanning batches out.
+pub const STAGES: usize = 3;
+
+/// Stage 0: parse + decapsulate, keeping the payload and flow position.
+fn parse_stage(frame: &Frame) -> (u64, Vec<u8>) {
     let parsed = parse_overlay_frame(&frame.bytes).expect("generated frame must parse");
-    // One more pass over the payload models the user-space copy cost and
-    // produces an order-independent identity check.
-    let _csum = ones_complement_sum(&parsed.payload, 0);
+    (frame.seq, parsed.payload)
+}
+
+/// Stage 1: checksum verification over the decapsulated payload.
+fn csum_stage(payload: Vec<u8>) -> Vec<u8> {
+    let _csum = ones_complement_sum(&payload, 0);
+    payload
+}
+
+/// Stage 2: digest, modelling the user-space copy and producing an
+/// order-independent identity check.
+fn digest_stage(seq: u64, payload: Vec<u8>) -> PacketResult {
     let mut digest = 0xcbf29ce484222325u64;
-    for &b in &parsed.payload {
+    for &b in &payload {
         digest ^= b as u64;
         digest = digest.wrapping_mul(0x100000001b3);
     }
     PacketResult {
-        seq: frame.seq,
+        seq,
         digest,
-        len: parsed.payload.len() as u32,
+        len: payload.len() as u32,
     }
+}
+
+/// A packet part-way through the staged pipeline — the unit FALCON chain
+/// workers hand to the next hop after applying their stage group.
+#[derive(Debug)]
+pub enum StagedWork {
+    /// Untouched wire frame.
+    Raw(Frame),
+    /// After parse: decapsulated payload plus flow position.
+    Parsed {
+        /// Position in the original flow.
+        seq: u64,
+        /// Decapsulated payload bytes.
+        payload: Vec<u8>,
+    },
+    /// After checksum verification.
+    Summed {
+        /// Position in the original flow.
+        seq: u64,
+        /// Decapsulated payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Fully processed.
+    Done(PacketResult),
+}
+
+impl StagedWork {
+    /// Applies the next pipeline stage; `Done` is a fixed point.
+    pub fn advance(self) -> StagedWork {
+        match self {
+            StagedWork::Raw(frame) => {
+                let (seq, payload) = parse_stage(&frame);
+                StagedWork::Parsed { seq, payload }
+            }
+            StagedWork::Parsed { seq, payload } => StagedWork::Summed {
+                seq,
+                payload: csum_stage(payload),
+            },
+            StagedWork::Summed { seq, payload } => StagedWork::Done(digest_stage(seq, payload)),
+            done @ StagedWork::Done(_) => done,
+        }
+    }
+
+    /// Applies the next `n` stages.
+    pub fn advance_n(self, n: usize) -> StagedWork {
+        (0..n).fold(self, |w, _| w.advance())
+    }
+
+    /// Applies every remaining stage. Equivalent to [`process_frame`]
+    /// from any intermediate state.
+    pub fn complete(self) -> PacketResult {
+        match self.advance_n(STAGES) {
+            StagedWork::Done(r) => r,
+            _ => unreachable!("STAGES advances always reach Done"),
+        }
+    }
+}
+
+/// Splits the [`STAGES`] pipeline stages into `groups` contiguous,
+/// front-loaded groups: FALCON's device level (2 groups) gets
+/// `[parse+checksum | digest]`, the function level (3 groups) one stage
+/// per worker.
+pub fn stage_group_sizes(groups: usize) -> Vec<usize> {
+    let groups = groups.clamp(1, STAGES);
+    (0..groups)
+        .map(|i| STAGES / groups + usize::from(i < STAGES % groups))
+        .collect()
 }
 
 #[cfg(test)]
@@ -70,5 +158,30 @@ mod tests {
         let r = process_frame(&frames[1]);
         assert_eq!(r.seq, 1);
         assert_eq!(r.len, 99);
+    }
+
+    #[test]
+    fn staged_pipeline_equals_process_frame() {
+        let frames = generate_frames(6, 200);
+        for f in &frames {
+            let whole = process_frame(f);
+            // From every intermediate depth, completing must agree.
+            for head in 0..=STAGES {
+                let staged = StagedWork::Raw(f.clone()).advance_n(head).complete();
+                assert_eq!(staged, whole, "diverged after {head} staged steps");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_groups_partition_the_pipeline() {
+        assert_eq!(stage_group_sizes(1), vec![3]);
+        assert_eq!(stage_group_sizes(2), vec![2, 1], "device level front-loads");
+        assert_eq!(stage_group_sizes(3), vec![1, 1, 1]);
+        // Clamped: more groups than stages degenerate to one per stage.
+        assert_eq!(stage_group_sizes(9), vec![1, 1, 1]);
+        for g in 1..=3 {
+            assert_eq!(stage_group_sizes(g).iter().sum::<usize>(), STAGES);
+        }
     }
 }

@@ -98,7 +98,7 @@ proptest! {
             },
         ).unwrap();
         prop_assert_eq!(serial.digests, out.digests);
-        prop_assert_eq!(out.shed_packets, 0);
+        prop_assert_eq!(out.telemetry.shed, 0);
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! The engine-agnostic steering seam: [`SteeringPolicy`] decides which
+//! *lane* (worker queue) each micro-flow batch is dispatched to, and
+//! [`PolicyKind`] names every policy both execution engines understand.
+//!
+//! The simulator steers skbs between modelled cores through
+//! [`mflow_netstack::PacketSteering`]; the real-thread runtime steers
+//! whole batches between OS-thread lanes. This trait is the runtime-facing
+//! half of that split, deliberately small so a policy is just "pick a lane,
+//! hear about what you placed":
+//!
+//! * **RSS** hashes the flow onto a lane — one flow, one lane, forever.
+//! * **RPS** does the same in software but can consult queue depths when a
+//!   flow first appears (the `rps_cpus` mask is configured, not hashed).
+//! * **RFS** follows the consuming application, modelled as the last lane.
+//! * **FALCON** does not fan out at all: every batch enters lane 0 and the
+//!   *stages* of the packet function are pipelined across the workers
+//!   (`stage_groups` reports the chain length).
+//! * **MFLOW** (implemented in the `mflow` crate, which depends on this
+//!   one) round-robins micro-flows of an elephant flow across all lanes —
+//!   the only policy that interleaves one flow, and therefore the only one
+//!   that *requires* the merging counter to restore order.
+//!
+//! Policies whose `reorders()` is false deliver each flow through a single
+//! FIFO path, so the merge point must observe zero out-of-order arrivals
+//! and zero deadline flushes for them — a property the integration suite
+//! asserts for every implementation here.
+
+/// Names every steering policy selectable on the runtime datapath
+/// (`mflow_cli --runtime --policy ...`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Micro-flow splitting with elephant detection (the paper's system).
+    #[default]
+    Mflow,
+    /// Software flow steering: pin the flow to a lane chosen at first
+    /// sight (least-loaded), like a configured `rps_cpus` mask.
+    Rps,
+    /// NIC receive-side scaling: hash the flow onto a lane.
+    Rss,
+    /// Receive flow steering: follow the consuming application's lane.
+    Rfs,
+    /// FALCON device-level pipelining: 2 stage groups chained across
+    /// workers.
+    FalconDev,
+    /// FALCON function-level pipelining: 3 stage groups chained across
+    /// workers.
+    FalconFunc,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, in display order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Mflow,
+        PolicyKind::Rps,
+        PolicyKind::Rss,
+        PolicyKind::Rfs,
+        PolicyKind::FalconDev,
+        PolicyKind::FalconFunc,
+    ];
+
+    /// The CLI / telemetry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Mflow => "mflow",
+            PolicyKind::Rps => "rps",
+            PolicyKind::Rss => "rss",
+            PolicyKind::Rfs => "rfs",
+            PolicyKind::FalconDev => "falcon-dev",
+            PolicyKind::FalconFunc => "falcon-func",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`PolicyKind::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Number of pipelined stage groups; 0 means the policy fans batches
+    /// out to lanes instead of chaining stages across them.
+    pub fn stage_groups(self) -> usize {
+        match self {
+            PolicyKind::FalconDev => 2,
+            PolicyKind::FalconFunc => 3,
+            _ => 0,
+        }
+    }
+
+    /// Whether the policy can interleave packets of one flow across
+    /// lanes, requiring merge-point reassembly.
+    pub fn reorders(self) -> bool {
+        matches!(self, PolicyKind::Mflow)
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A lane-steering policy driving a real-thread dispatcher.
+///
+/// The dispatcher calls [`steer`](SteeringPolicy::steer) once per
+/// micro-flow (batch) as it opens, then
+/// [`observe`](SteeringPolicy::observe) once the batch has been placed —
+/// the completion-feedback hook adaptive policies (elephant detection)
+/// use for rate accounting and lane-pressure tracking. Stateless
+/// policies keep the default no-op.
+pub trait SteeringPolicy: Send {
+    /// The telemetry / CLI name of this policy.
+    fn name(&self) -> &'static str;
+
+    /// Picks the lane for micro-flow `mf_id` of flow `flow_hash`, given
+    /// the current per-lane backlog in batches. Must return a value in
+    /// `0..depths.len()`.
+    fn steer(&mut self, mf_id: u64, flow_hash: u32, depths: &[usize]) -> usize;
+
+    /// True when the policy can interleave one flow across lanes, so the
+    /// merge point must reorder (and may flush). Non-reordering policies
+    /// are guaranteed zero `ooo` / `flushed` telemetry on a fault-free
+    /// run.
+    fn reorders(&self) -> bool;
+
+    /// Number of pipelined stage groups (FALCON chain length); 0 means
+    /// plain fan-out dispatch.
+    fn stage_groups(&self) -> usize {
+        0
+    }
+
+    /// Completion feedback: batch `mf_id` of flow `flow_hash`, sized
+    /// `packets`, was placed on `lane`. Called after every successful
+    /// dispatch (including inline fallback, with the recovery lane id).
+    fn observe(&mut self, _mf_id: u64, _flow_hash: u32, _lane: usize, _packets: usize) {}
+
+    /// Lifetime (desplits, resplits) from lane-pressure feedback; zero
+    /// for policies without adaptive splitting.
+    fn desplit_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// RSS on lanes: the NIC hash pins the flow to `flow_hash % lanes`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RssLanes;
+
+impl SteeringPolicy for RssLanes {
+    fn name(&self) -> &'static str {
+        "rss"
+    }
+
+    fn steer(&mut self, _mf_id: u64, flow_hash: u32, depths: &[usize]) -> usize {
+        flow_hash as usize % depths.len().max(1)
+    }
+
+    fn reorders(&self) -> bool {
+        false
+    }
+}
+
+/// RPS on lanes: software steering pins the flow to the least-loaded
+/// lane at first sight (the operator-configured `rps_cpus` choice),
+/// then keeps it there — per-flow FIFO order is preserved.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RpsLanes {
+    pinned: Option<(u32, usize)>,
+}
+
+impl SteeringPolicy for RpsLanes {
+    fn name(&self) -> &'static str {
+        "rps"
+    }
+
+    fn steer(&mut self, _mf_id: u64, flow_hash: u32, depths: &[usize]) -> usize {
+        match self.pinned {
+            Some((hash, lane)) if hash == flow_hash => lane,
+            _ => {
+                let lane = depths
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, d)| **d)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                self.pinned = Some((flow_hash, lane));
+                lane
+            }
+        }
+    }
+
+    fn reorders(&self) -> bool {
+        false
+    }
+}
+
+/// RFS on lanes: steer to where the consuming application runs,
+/// modelled as the highest lane (the user-copy side of the pipeline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RfsLanes;
+
+impl SteeringPolicy for RfsLanes {
+    fn name(&self) -> &'static str {
+        "rfs"
+    }
+
+    fn steer(&mut self, _mf_id: u64, _flow_hash: u32, depths: &[usize]) -> usize {
+        depths.len().saturating_sub(1)
+    }
+
+    fn reorders(&self) -> bool {
+        false
+    }
+}
+
+/// FALCON on lanes: batches always enter the head of the worker chain;
+/// the packet-function stages are pipelined across workers instead of
+/// fanning batches out (device level = 2 stage groups, function level
+/// = 3).
+#[derive(Clone, Copy, Debug)]
+pub struct FalconLanes {
+    groups: usize,
+    name: &'static str,
+}
+
+impl FalconLanes {
+    /// Device-level pipelining: [parse+checksum | digest].
+    pub fn device() -> Self {
+        Self {
+            groups: PolicyKind::FalconDev.stage_groups(),
+            name: PolicyKind::FalconDev.name(),
+        }
+    }
+
+    /// Function-level pipelining: [parse | checksum | digest].
+    pub fn function() -> Self {
+        Self {
+            groups: PolicyKind::FalconFunc.stage_groups(),
+            name: PolicyKind::FalconFunc.name(),
+        }
+    }
+}
+
+impl SteeringPolicy for FalconLanes {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn steer(&mut self, _mf_id: u64, _flow_hash: u32, _depths: &[usize]) -> usize {
+        0
+    }
+
+    fn reorders(&self) -> bool {
+        false
+    }
+
+    fn stage_groups(&self) -> usize {
+        self.groups
+    }
+}
+
+/// Builds the baseline lane policy for `kind`; `None` for
+/// [`PolicyKind::Mflow`], whose implementation lives in the `mflow`
+/// crate (it wraps the elephant detector, which this crate cannot see).
+pub fn build_baseline(kind: PolicyKind) -> Option<Box<dyn SteeringPolicy>> {
+    match kind {
+        PolicyKind::Mflow => None,
+        PolicyKind::Rps => Some(Box::new(RpsLanes::default())),
+        PolicyKind::Rss => Some(Box::new(RssLanes)),
+        PolicyKind::Rfs => Some(Box::new(RfsLanes)),
+        PolicyKind::FalconDev => Some(Box::new(FalconLanes::device())),
+        PolicyKind::FalconFunc => Some(Box::new(FalconLanes::function())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn baseline_names_match_kind() {
+        for kind in PolicyKind::ALL {
+            if let Some(p) = build_baseline(kind) {
+                assert_eq!(p.name(), kind.name());
+                assert_eq!(p.reorders(), kind.reorders());
+                assert_eq!(p.stage_groups(), kind.stage_groups());
+            } else {
+                assert_eq!(kind, PolicyKind::Mflow);
+            }
+        }
+    }
+
+    #[test]
+    fn non_reordering_policies_keep_a_flow_on_one_lane() {
+        let depths = [3usize, 0, 1, 2];
+        for kind in [PolicyKind::Rss, PolicyKind::Rps, PolicyKind::Rfs] {
+            let mut p = build_baseline(kind).unwrap();
+            let first = p.steer(0, 0xdead_beef, &depths);
+            for mf in 1..64 {
+                assert_eq!(
+                    p.steer(mf, 0xdead_beef, &depths),
+                    first,
+                    "{} moved a pinned flow",
+                    p.name()
+                );
+            }
+            assert!(first < depths.len());
+        }
+    }
+
+    #[test]
+    fn rps_pins_least_loaded_at_first_sight() {
+        let mut p = RpsLanes::default();
+        assert_eq!(p.steer(0, 7, &[3, 0, 1]), 1);
+        // Depths changed, flow stays pinned.
+        assert_eq!(p.steer(1, 7, &[0, 9, 1]), 1);
+        // A different flow re-picks.
+        assert_eq!(p.steer(2, 8, &[0, 9, 1]), 0);
+    }
+
+    #[test]
+    fn falcon_enters_the_chain_head() {
+        let mut dev = FalconLanes::device();
+        let mut func = FalconLanes::function();
+        assert_eq!(dev.steer(0, 1, &[1, 2, 3]), 0);
+        assert_eq!(func.steer(0, 1, &[1, 2, 3]), 0);
+        assert_eq!(dev.stage_groups(), 2);
+        assert_eq!(func.stage_groups(), 3);
+    }
+}

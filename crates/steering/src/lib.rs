@@ -5,13 +5,21 @@
 //!
 //! None of these can split a *single* flow at packet granularity — that is
 //! exactly the gap MFLOW (the `mflow` crate) fills.
+//!
+//! The [`lane`] module carries the engine-agnostic [`SteeringPolicy`]
+//! trait the real-thread runtime dispatches through, with lane-level
+//! implementations of the same baselines.
 
 pub mod falcon;
+pub mod lane;
 pub mod rfs;
 pub mod rps;
 pub mod rss;
 
 pub use falcon::{Falcon, FalconLevel};
+pub use lane::{
+    build_baseline, FalconLanes, PolicyKind, RfsLanes, RpsLanes, RssLanes, SteeringPolicy,
+};
 pub use rfs::Rfs;
 pub use rps::Rps;
 pub use rss::Rss;

@@ -10,7 +10,7 @@
 //! small window of requests outstanding (closed loop), so measured
 //! latency directly reflects stack queueing under the chosen client count.
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{FlowSpec, LoadModel, NoiseConfig, RunReport, StackConfig, StackSim};
 use mflow_sim::{MS, US};
 
@@ -105,14 +105,14 @@ pub fn run(system: System, opts: &CachingOpts) -> CachingResult {
             // only a few dozen packets outstanding; a 64-packet batch
             // (still above the GRO window) lets micro-flows rotate lanes
             // and the flow actually parallelize.
-            let mut mcfg = MflowConfig::multi_flow(cfg.kernel_cores.clone(), 2, 0);
+            let mut mcfg = MflowConfig::try_multi_flow(cfg.kernel_cores.clone(), 2, 0).expect("valid multi-flow config");
             mcfg.batch_size = 64;
-            let (p, m) = install(mcfg);
+            let (p, m) = try_install(mcfg).expect("stock mflow config");
             (p, Some(m))
         }
         _ => system.build_multi_flow(&cfg.kernel_cores.clone(), 2),
     };
-    let report = StackSim::run(cfg, policy, merge);
+    let report = StackSim::try_run(cfg, policy, merge).expect("valid stack config");
     // A memcached worker adds a fixed service cost per request on top of
     // the measured stack latency (hash lookup + response formatting).
     let service_ns = 6 * US;

@@ -87,7 +87,7 @@ pub fn run(system: System, n_flows: usize, msg_bytes: u64, opts: &MultiFlowOpts)
     cfg.warmup_ns = opts.warmup_ns;
     cfg.seed = opts.seed;
     let (policy, merge) = system.build_multi_flow(&opts.layout.kernel_cores, opts.lanes);
-    StackSim::run(cfg, policy, merge)
+    StackSim::try_run(cfg, policy, merge).expect("valid stack config")
 }
 
 /// Aggregate throughput plus the per-kernel-core utilization spread the

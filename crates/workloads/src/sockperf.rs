@@ -63,7 +63,7 @@ fn base_config(system: System, transport: Transport, msg_bytes: u64, opts: &Sock
 pub fn throughput(system: System, transport: Transport, msg_bytes: u64, opts: &SockperfOpts) -> RunReport {
     let cfg = base_config(system, transport, msg_bytes, opts);
     let (policy, merge) = system.build_single_flow(transport);
-    StackSim::run(cfg, policy, merge)
+    StackSim::try_run(cfg, policy, merge).expect("valid stack config")
 }
 
 /// In-flight data for the TCP latency-under-load runs: sockperf's
@@ -121,7 +121,7 @@ pub fn latency(
         }
     }
     let (policy, merge) = system.build_single_flow(transport);
-    StackSim::run(cfg, policy, merge)
+    StackSim::try_run(cfg, policy, merge).expect("valid stack config")
 }
 
 /// The motivation experiment of Figure 4 needs the native path under every
@@ -213,7 +213,7 @@ mod tests {
         let o = quick();
         let r = throughput(System::Mflow, Transport::Tcp, 65536, &o);
         assert_eq!(r.tcp_ooo_inserts, 0, "reassembly must prevent TCP OOO work");
-        assert_eq!(r.merge_residue, 0);
-        assert!(r.ooo_merge_input > 0, "parallel lanes must actually race");
+        assert_eq!(r.telemetry.residue, 0);
+        assert!(r.telemetry.ooo > 0, "parallel lanes must actually race");
     }
 }

@@ -2,7 +2,7 @@
 //! policy, merge hook and path for any scenario — the single place that
 //! encodes the paper's five experimental configurations.
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{MergeSetup, PacketSteering, PathKind, Transport};
 use mflow_sim::CoreId;
 use mflow_steering::{Falcon, FalconLevel, Rps, Rss};
@@ -81,7 +81,7 @@ impl System {
                     Transport::Tcp => MflowConfig::tcp_full_path(),
                     Transport::Udp => MflowConfig::udp_device_scaling(),
                 };
-                let (p, m) = install(cfg);
+                let (p, m) = try_install(cfg).expect("stock mflow config");
                 (p, Some(m))
             }
         }
@@ -115,8 +115,8 @@ impl System {
                 None,
             ),
             System::Mflow => {
-                let cfg = MflowConfig::multi_flow(cores, lanes, 0);
-                let (p, m) = install(cfg);
+                let cfg = MflowConfig::try_multi_flow(cores, lanes, 0).expect("valid multi-flow config");
+                let (p, m) = try_install(cfg).expect("stock mflow config");
                 (p, Some(m))
             }
         }

@@ -9,7 +9,7 @@
 //! cargo run -p mflow-examples --release --bin batch_size_tuning
 //! ```
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
 use mflow_sim::MS;
 
@@ -22,11 +22,11 @@ fn main() {
         cfg.warmup_ns = 10 * MS;
         let mut mcfg = MflowConfig::tcp_full_path();
         mcfg.batch_size = batch;
-        let (policy, merge) = install(mcfg);
-        let r = StackSim::run(cfg, policy, Some(merge));
+        let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+        let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
         println!(
             "{:>10} {:>12.2} {:>16} {:>14}",
-            batch, r.goodput_gbps, r.ooo_merge_input, r.tcp_ooo_inserts
+            batch, r.goodput_gbps, r.telemetry.ooo, r.tcp_ooo_inserts
         );
     }
     println!(

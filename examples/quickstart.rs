@@ -9,7 +9,7 @@
 //! cargo run -p mflow-examples --release --bin quickstart
 //! ```
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, StayLocal};
 
 fn main() {
@@ -18,13 +18,13 @@ fn main() {
     let config = || StackConfig::single_flow(PathKind::Overlay, FlowSpec::tcp(65536, 0));
 
     // 1. Vanilla: the kernel squeezes every stage onto the IRQ core.
-    let vanilla = StackSim::run(config(), Box::new(StayLocal::new(1)), None);
+    let vanilla = StackSim::try_run(config(), Box::new(StayLocal::new(1)), None).expect("valid stack config");
 
     // 2. MFLOW: split the flow into 256-packet micro-flows at the first
     //    softirq, process them on cores 2-5 in parallel, and reassemble
     //    in order before TCP (the paper's full-path scaling).
-    let (policy, merge) = install(MflowConfig::tcp_full_path());
-    let mflow = StackSim::run(config(), policy, Some(merge));
+    let (policy, merge) = try_install(MflowConfig::tcp_full_path()).expect("stock mflow config");
+    let mflow = StackSim::try_run(config(), policy, Some(merge)).expect("valid stack config");
 
     println!("container overlay network, single TCP flow, 64 KB messages\n");
     println!("  {}", vanilla.summary());
@@ -35,7 +35,7 @@ fn main() {
     );
     println!(
         "order preserved: {} packets raced across cores, {} reached TCP out of order",
-        mflow.ooo_merge_input, mflow.tcp_ooo_inserts
+        mflow.telemetry.ooo, mflow.tcp_ooo_inserts
     );
     assert_eq!(mflow.tcp_ooo_inserts, 0, "reassembly must hide all disorder");
 }

@@ -6,7 +6,7 @@
 //! cargo run -p mflow-examples --release --bin timeline
 //! ```
 
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, StayLocal};
 use mflow_sim::MS;
 
@@ -27,11 +27,11 @@ fn show(label: &str, report: &mflow_netstack::RunReport) {
 }
 
 fn main() {
-    let vanilla = StackSim::run(config(), Box::new(StayLocal::new(1)), None);
+    let vanilla = StackSim::try_run(config(), Box::new(StayLocal::new(1)), None).expect("valid stack config");
     show("vanilla overlay (everything on core 1)", &vanilla);
 
-    let (policy, merge) = install(MflowConfig::tcp_full_path());
-    let mflow = StackSim::run(config(), policy, Some(merge));
+    let (policy, merge) = try_install(MflowConfig::tcp_full_path()).expect("stock mflow config");
+    let mflow = StackSim::try_run(config(), policy, Some(merge)).expect("valid stack config");
     show("mflow full-path scaling", &mflow);
 
     println!("\nVanilla serializes the whole pipeline on one core; MFLOW keeps six cores");

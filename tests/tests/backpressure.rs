@@ -48,16 +48,16 @@ fn check_accounting(frames: &[Frame], batch_size: usize, out: &RunOutput) -> BTr
     for r in &out.digests {
         assert_eq!(reference.get(&r.seq), Some(&r.digest), "digest mismatch at {}", r.seq);
     }
-    assert_eq!(out.merge_residue, 0, "items left parked in the merger");
+    assert_eq!(out.telemetry.residue, 0, "items left parked in the merger");
     assert_eq!(
-        out.digests.len() as u64 + out.shed_packets,
+        out.digests.len() as u64 + out.telemetry.shed,
         frames.len() as u64,
         "packets neither delivered nor shed"
     );
     assert!(
-        out.lane_depths.iter().all(|&d| d == 0),
+        out.telemetry.lane_depths.iter().all(|&d| d == 0),
         "stale end-of-run lane depths: {:?}",
-        out.lane_depths
+        out.telemetry.lane_depths
     );
 
     // With no packet-level faults the dispatcher's batching is exact:
@@ -100,7 +100,7 @@ fn drop_tail_sheds_on_the_stalled_lane_and_accounts_every_packet() {
         let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(10)).unwrap();
 
         let shed_mfs = check_accounting(&frames, cfg.batch_size, &out);
-        assert!(out.shed_packets > 0, "a 10 ms/batch stall never tripped the watermark");
+        assert!(out.telemetry.shed > 0, "a 10 ms/batch stall never tripped the watermark");
         assert!(out.backpressure_events > 0);
         assert_eq!(out.block_fallbacks, 0, "unlimited budget must never fall back to blocking");
         assert!(
@@ -140,9 +140,9 @@ fn inline_under_sustained_stall_is_exact_in_order_and_dupfree() {
         };
         let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(5)).unwrap();
         assert_eq!(out.digests, serial.digests, "inline fallback lost, reordered or duplicated");
-        assert_eq!(out.shed_packets, 0);
+        assert_eq!(out.telemetry.shed, 0);
         assert!(out.inline_batches > 0, "the stall never pushed a batch inline");
-        assert!(out.inline_packets >= out.inline_batches, "inline batches must carry packets");
+        assert!(out.telemetry.inline >= out.inline_batches, "inline batches must carry packets");
         assert!(out.flushed_mfs.is_empty(), "nothing was lost, nothing to flush");
     }
 }
@@ -164,7 +164,7 @@ fn drop_tail_budget_exhaustion_falls_back_inline_when_asked() {
         };
         let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(10)).unwrap();
         check_accounting(&frames, cfg.batch_size, &out);
-        assert!(out.shed_packets <= budget, "shed past the budget");
+        assert!(out.telemetry.shed <= budget, "shed past the budget");
         assert!(
             out.inline_batches > 0,
             "budget exhausted under a sustained stall but nothing went inline"
@@ -190,8 +190,8 @@ fn drop_tail_without_fallback_blocks_after_budget_and_loses_nothing_more() {
         };
         let out = process_parallel_faulty(&frames, &cfg, &stalled_lane(2)).unwrap();
         check_accounting(&frames, cfg.batch_size, &out);
-        assert!(out.shed_packets <= budget);
-        if out.shed_packets == budget {
+        assert!(out.telemetry.shed <= budget);
+        if out.telemetry.shed == budget {
             assert!(out.block_fallbacks > 0, "budget gone, pressure still on, never blocked");
         }
     }
@@ -218,7 +218,7 @@ fn slow_consumer_with_block_policy_stays_lossless() {
         faults.flush_timeout_ms = Some(250);
         let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
         assert_eq!(out.digests, serial.digests);
-        assert_eq!(out.shed_packets, 0);
+        assert_eq!(out.telemetry.shed, 0);
         assert_eq!(out.inline_batches, 0);
     }
 }

@@ -22,7 +22,7 @@ fn all_systems_are_deterministic_single_flow() {
             let a = throughput(sys, t, 16384, &opts);
             let b = throughput(sys, t, 16384, &opts);
             assert_eq!(a.delivered_bytes, b.delivered_bytes, "{sys:?}/{t:?}");
-            assert_eq!(a.messages, b.messages, "{sys:?}/{t:?}");
+            assert_eq!(a.telemetry.delivered, b.telemetry.delivered, "{sys:?}/{t:?}");
             assert_eq!(a.events, b.events, "{sys:?}/{t:?}");
             assert_eq!(a.latency.p99(), b.latency.p99(), "{sys:?}/{t:?}");
             assert_eq!(a.ipis, b.ipis, "{sys:?}/{t:?}");
@@ -38,8 +38,8 @@ fn different_seeds_perturb_noisy_runs() {
     assert!(cfg.noise.enabled);
     let mut cfg2 = cfg.clone();
     cfg2.seed = cfg.seed + 1;
-    let a = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
-    let b = StackSim::run(cfg2, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    let a = StackSim::try_run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None).expect("valid stack config");
+    let b = StackSim::try_run(cfg2, Box::new(mflow_netstack::StayLocal::new(1)), None).expect("valid stack config");
     // Throughput may quantize to the same message count; the fine-grained
     // fingerprint (event count, latency distribution) must differ.
     let same = a.delivered_bytes == b.delivered_bytes
@@ -96,6 +96,6 @@ fn quiet_runs_have_zero_noise_cpu() {
         PathKind::Overlay,
         FlowSpec::tcp(65536, 0),
     ));
-    let r = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    let r = StackSim::try_run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None).expect("valid stack config");
     assert_eq!(r.cpu.tag_total_ns("interference"), 0);
 }

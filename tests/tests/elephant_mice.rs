@@ -3,7 +3,7 @@
 //! sharing the host with split elephants.
 
 use integration_tests::quick;
-use mflow::{install, ElephantConfig, MflowConfig};
+use mflow::{try_install, ElephantConfig, MflowConfig};
 use mflow_netstack::{FlowSpec, LoadModel, PathKind, StackConfig, StackSim};
 use mflow_sim::MS;
 
@@ -33,10 +33,10 @@ fn detecting_config() -> MflowConfig {
 
 #[test]
 fn only_the_elephant_is_split() {
-    let (policy, merge) = install(detecting_config());
-    let r = StackSim::run(mixed_config(), policy, Some(merge));
+    let (policy, merge) = try_install(detecting_config()).expect("stock mflow config");
+    let r = StackSim::try_run(mixed_config(), policy, Some(merge)).expect("valid stack config");
     // The elephant raced across lanes; reassembly hid it from TCP.
-    assert!(r.ooo_merge_input > 0, "elephant never split");
+    assert!(r.telemetry.ooo > 0, "elephant never split");
     assert_eq!(r.tcp_ooo_inserts, 0);
     // Everyone made progress.
     assert!(r.per_flow_delivered[0] > 10 * r.per_flow_delivered[1]);
@@ -45,10 +45,10 @@ fn only_the_elephant_is_split() {
 
 #[test]
 fn detection_loses_little_vs_always_split() {
-    let (p_detect, m_detect) = install(detecting_config());
-    let detected = StackSim::run(mixed_config(), p_detect, Some(m_detect));
-    let (p_always, m_always) = install(MflowConfig::tcp_full_path());
-    let always = StackSim::run(mixed_config(), p_always, Some(m_always));
+    let (p_detect, m_detect) = try_install(detecting_config()).expect("stock mflow config");
+    let detected = StackSim::try_run(mixed_config(), p_detect, Some(m_detect)).expect("valid stack config");
+    let (p_always, m_always) = try_install(MflowConfig::tcp_full_path()).expect("stock mflow config");
+    let always = StackSim::try_run(mixed_config(), p_always, Some(m_always)).expect("valid stack config");
     let ratio = detected.goodput_gbps / always.goodput_gbps;
     assert!(
         ratio > 0.9,
@@ -60,8 +60,8 @@ fn detection_loses_little_vs_always_split() {
 
 #[test]
 fn mice_latency_stays_reasonable_next_to_a_split_elephant() {
-    let (policy, merge) = install(detecting_config());
-    let r = StackSim::run(mixed_config(), policy, Some(merge));
+    let (policy, merge) = try_install(detecting_config()).expect("stock mflow config");
+    let r = StackSim::try_run(mixed_config(), policy, Some(merge)).expect("valid stack config");
     // The mice land in the same latency histogram; with the elephant
     // saturating the copy core their p99 grows, but the median must stay
     // in interactive territory (sub-millisecond).

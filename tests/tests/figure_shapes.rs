@@ -2,7 +2,7 @@
 //! headline tests: Figure 7's batch-size relationship and the §III
 //! ablations (splitting-core count, merge placement, split point).
 
-use mflow::{install, MflowConfig, ScalingMode};
+use mflow::{try_install, MflowConfig, ScalingMode};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim, Stage};
 use mflow_sim::MS;
 
@@ -17,10 +17,10 @@ fn noisy_tcp_config() -> StackConfig {
 fn run_batch(batch: u32) -> (u64, u64, f64) {
     let mut mcfg = MflowConfig::tcp_full_path();
     mcfg.batch_size = batch;
-    let (policy, merge) = install(mcfg);
-    let r = StackSim::run(noisy_tcp_config(), policy, Some(merge));
+    let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+    let r = StackSim::try_run(noisy_tcp_config(), policy, Some(merge)).expect("valid stack config");
     let pkts = (r.delivered_bytes / 1448).max(1);
-    (r.ooo_merge_input * 100_000 / pkts, r.ooo_merge_input, r.goodput_gbps)
+    (r.telemetry.ooo * 100_000 / pkts, r.telemetry.ooo, r.goodput_gbps)
 }
 
 #[test]
@@ -46,8 +46,8 @@ fn ablation_two_splitting_cores_capture_most_of_the_win() {
         let mut mcfg = MflowConfig::tcp_full_path();
         mcfg.split_cores = lanes;
         mcfg.branch_tails = None;
-        let (policy, merge) = install(mcfg);
-        StackSim::run(noisy_tcp_config(), policy, Some(merge)).goodput_gbps
+        let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+        StackSim::try_run(noisy_tcp_config(), policy, Some(merge)).expect("valid stack config").goodput_gbps
     };
     let one = run_lanes(vec![2]);
     let two = run_lanes(vec![2, 3]);
@@ -68,9 +68,9 @@ fn ablation_late_merge_beats_early_merge_for_udp() {
         cfg.flows = vec![FlowSpec::udp(65536, 0); 3];
         cfg.duration_ns = 20 * MS;
         cfg.warmup_ns = 6 * MS;
-        let (policy, mut merge) = install(MflowConfig::udp_device_scaling());
+        let (policy, mut merge) = try_install(MflowConfig::udp_device_scaling()).expect("stock mflow config");
         merge.before = before;
-        StackSim::run(cfg, policy, Some(merge)).goodput_gbps
+        StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config").goodput_gbps
     };
     let early = run_merge_at(Stage::UdpRx);
     let late = run_merge_at(Stage::UserCopy);
@@ -87,8 +87,8 @@ fn ablation_irq_split_beats_flow_split_for_tcp() {
         let mut mcfg = MflowConfig::tcp_full_path();
         mcfg.mode = mode;
         mcfg.branch_tails = tails;
-        let (policy, merge) = install(mcfg);
-        StackSim::run(noisy_tcp_config(), policy, Some(merge)).goodput_gbps
+        let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+        StackSim::try_run(noisy_tcp_config(), policy, Some(merge)).expect("valid stack config").goodput_gbps
     };
     let flow_split = run_mode(
         ScalingMode::Device {

@@ -4,7 +4,7 @@
 //! tests push past it to validate the substrate.)
 
 use integration_tests::quick;
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{FlowSpec, LoadModel, PathKind, StackConfig, StackSim};
 use mflow_sim::MS;
 
@@ -23,11 +23,11 @@ fn droppy_config() -> StackConfig {
 
 #[test]
 fn vanilla_tcp_survives_ring_overruns() {
-    let r = StackSim::run(
+    let r = StackSim::try_run(
         droppy_config(),
         Box::new(mflow_netstack::StayLocal::new(1)),
         None,
-    );
+    ).expect("valid stack config");
     assert!(r.ring_drops > 0, "the scenario must actually drop");
     assert!(r.tcp_retransmits > 0, "drops must trigger RTO recovery");
     // Recovery here is timeout-driven (cumulative ACKs stall completely
@@ -38,7 +38,7 @@ fn vanilla_tcp_survives_ring_overruns() {
         "flow must keep making progress: {:.2} Gbps",
         r.goodput_gbps
     );
-    assert!(r.messages > 5, "only {} messages completed", r.messages);
+    assert!(r.telemetry.delivered > 5, "only {} messages completed", r.telemetry.delivered);
 }
 
 #[test]
@@ -47,8 +47,8 @@ fn mflow_drains_the_ring_too_fast_to_overrun_it() {
     // but poll + steer, so it drains descriptors faster than the wire
     // delivers them: the overrun (and the recovery tax) never happens.
     // This is a side benefit of IRQ splitting the paper does not measure.
-    let (policy, merge) = install(MflowConfig::tcp_full_path());
-    let r = StackSim::run(droppy_config(), policy, Some(merge));
+    let (policy, merge) = try_install(MflowConfig::tcp_full_path()).expect("stock mflow config");
+    let r = StackSim::try_run(droppy_config(), policy, Some(merge)).expect("valid stack config");
     assert_eq!(r.ring_drops, 0, "dispatch core fell behind the wire");
     assert_eq!(r.tcp_retransmits, 0);
     assert!(r.goodput_gbps > 20.0, "{:.2} Gbps", r.goodput_gbps);
@@ -62,7 +62,7 @@ fn no_spurious_retransmits_without_drops() {
         PathKind::Overlay,
         FlowSpec::tcp(65536, 0),
     ));
-    let r = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    let r = StackSim::try_run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None).expect("valid stack config");
     assert_eq!(r.ring_drops, 0);
     assert_eq!(r.tcp_retransmits, 0, "spurious RTO");
 }
@@ -84,17 +84,17 @@ fn merge_path_microflow_loss_flushes_within_deadline_and_never_wedges() {
     // A deadline short enough to trip well inside the CI-length run.
     let mut mcfg = MflowConfig::udp_device_scaling();
     mcfg.flush_after_offers = Some(512);
-    let (policy, merge) = install(mcfg);
-    let r = StackSim::run(cfg, policy, Some(merge));
-    assert!(r.fault_drops > 0, "the targeted micro-flow must die");
+    let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
+    assert!(r.telemetry.fault_drops > 0, "the targeted micro-flow must die");
     assert!(
-        r.merge_flushed >= 1,
+        r.telemetry.flushed >= 1,
         "merger must flush past the dead micro-flow within the deadline"
     );
     assert!(r.goodput_gbps > 1.0, "flow wedged: {:.3} Gbps", r.goodput_gbps);
     // Parked skbs are bounded by the flush deadline (plus one in-flight
     // batch), not by the run length.
-    assert!(r.merge_residue < 1600, "merger leak: {}", r.merge_residue);
+    assert!(r.telemetry.residue < 1600, "merger leak: {}", r.telemetry.residue);
 }
 
 #[test]
@@ -115,12 +115,12 @@ fn random_closer_loss_at_the_merge_degrades_gracefully() {
     cfg.faults = Some(faults);
     let mut mcfg = MflowConfig::udp_device_scaling();
     mcfg.flush_after_offers = Some(512);
-    let (policy, merge) = install(mcfg);
-    let r = StackSim::run(cfg, policy, Some(merge));
-    assert!(r.fault_drops > 0, "closer drops must fire at 20%");
-    assert!(r.merge_flushed >= 1, "open micro-flows must be flushed");
+    let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
+    assert!(r.telemetry.fault_drops > 0, "closer drops must fire at 20%");
+    assert!(r.telemetry.flushed >= 1, "open micro-flows must be flushed");
     assert!(r.goodput_gbps > 1.0, "flow wedged: {:.3} Gbps", r.goodput_gbps);
-    assert!(r.merge_residue < 1600, "merger leak: {}", r.merge_residue);
+    assert!(r.telemetry.residue < 1600, "merger leak: {}", r.telemetry.residue);
 }
 
 #[test]
@@ -133,7 +133,7 @@ fn slow_start_converges_to_the_same_throughput()
         PathKind::Overlay,
         FlowSpec::tcp(65536, 0),
     ));
-    let r = StackSim::run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None);
+    let r = StackSim::try_run(cfg, Box::new(mflow_netstack::StayLocal::new(1)), None).expect("valid stack config");
     assert!(
         (15.0..18.5).contains(&r.goodput_gbps),
         "vanilla overlay drifted: {:.2} Gbps",

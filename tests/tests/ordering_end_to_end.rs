@@ -3,9 +3,12 @@
 //! the simulator, asserting the paper's §III-B correctness claims.
 
 use integration_tests::quick;
-use mflow::{install, MflowConfig};
+use mflow::{try_install, MflowConfig};
 use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
-use mflow_runtime::{generate_frames, process_parallel, process_serial, RuntimeConfig};
+use mflow_runtime::{
+    generate_frames, process_parallel, process_serial, PolicyKind, RuntimeConfig,
+    Transport as RtTransport,
+};
 
 #[test]
 fn real_threads_preserve_byte_exact_order() {
@@ -27,6 +30,45 @@ fn real_threads_preserve_byte_exact_order() {
 }
 
 #[test]
+fn every_steering_policy_preserves_byte_exact_order() {
+    // The policy-pluggable datapath contract: whatever steers the lanes
+    // — whole-flow pinning, stage chaining, or micro-flow splitting —
+    // the delivered stream on a benign run is byte-identical to the
+    // serial one, and policies that never interleave a flow must show a
+    // merge path that never engaged.
+    let frames = generate_frames(6_000, 256);
+    let serial = process_serial(&frames);
+    for policy in PolicyKind::ALL {
+        for transport in [RtTransport::Mpsc, RtTransport::Ring] {
+            let out = process_parallel(
+                &frames,
+                &RuntimeConfig {
+                    workers: 4,
+                    batch_size: 64,
+                    queue_depth: 8,
+                    policy,
+                    transport,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                out.digests, serial.digests,
+                "{policy} diverged ({transport:?})"
+            );
+            assert_eq!(out.telemetry.policy, policy.name());
+            if !policy.reorders() {
+                assert_eq!(out.telemetry.ooo, 0, "{policy} must not reorder");
+                assert!(
+                    out.flushed_mfs.is_empty(),
+                    "{policy} flushed micro-flows on a benign run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn runtime_disorder_grows_as_batches_shrink() {
     // The Figure 7 relationship on real threads: smaller batches produce
     // (statistically) more disorder at the merger input. Compare the
@@ -42,7 +84,7 @@ fn runtime_disorder_grows_as_batches_shrink() {
         },
     )
     .unwrap();
-    assert_eq!(one_batch.ooo_at_merge, 0);
+    assert_eq!(one_batch.telemetry.ooo, 0);
     let tiny = process_parallel(
         &frames,
         &RuntimeConfig {
@@ -53,7 +95,7 @@ fn runtime_disorder_grows_as_batches_shrink() {
         },
     )
     .unwrap();
-    assert!(tiny.ooo_at_merge > 0, "1-packet batches over 4 workers never interleaved");
+    assert!(tiny.telemetry.ooo > 0, "1-packet batches over 4 workers never interleaved");
 }
 
 #[test]
@@ -70,8 +112,8 @@ fn simulator_hides_all_disorder_from_tcp() {
             mcfg.batch_size = batch;
             mcfg.split_cores = lanes.clone();
             mcfg.branch_tails = None;
-            let (policy, merge) = install(mcfg);
-            let r = StackSim::run(cfg, policy, Some(merge));
+            let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+            let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
             assert!(r.goodput_gbps > 1.0, "batch {batch} lanes {lanes:?} stalled");
             assert_eq!(
                 r.tcp_ooo_inserts, 0,
@@ -83,9 +125,9 @@ fn simulator_hides_all_disorder_from_tcp() {
             // window, never an accumulating leak.
             let delivered_segs = r.delivered_bytes / 1448;
             assert!(
-                (r.merge_residue as u64) < 512 + delivered_segs / 100,
+                (r.telemetry.residue as u64) < 512 + delivered_segs / 100,
                 "batch {batch} lanes {lanes:?} leaked {} skbs in the merger",
-                r.merge_residue
+                r.telemetry.residue
             );
         }
     }
@@ -102,8 +144,8 @@ fn without_reassembly_tcp_pays_for_disorder() {
     ));
     let mut mcfg = MflowConfig::tcp_full_path();
     mcfg.batch_size = 4; // tiny batches: heavy interleaving
-    let (policy, _merge) = install(mcfg);
-    let r = StackSim::run(cfg, policy, None);
+    let (policy, _merge) = try_install(mcfg).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, None).expect("valid stack config");
     assert!(
         r.tcp_ooo_inserts > 100,
         "expected significant TCP OOO work without the merger, saw {}",
@@ -121,10 +163,10 @@ fn udp_late_merge_orders_datagram_stream() {
         FlowSpec::udp(65536, 0),
     ));
     cfg.flows = vec![FlowSpec::udp(65536, 0); 3];
-    let (policy, merge) = install(MflowConfig::udp_device_scaling());
-    let r = StackSim::run(cfg, policy, Some(merge));
+    let (policy, merge) = try_install(MflowConfig::udp_device_scaling()).expect("stock mflow config");
+    let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
     assert!(r.goodput_gbps > 1.0);
     // Disorder happens between the lanes but is repaired before delivery.
-    assert!(r.ooo_merge_input > 0, "lanes never raced — split inactive?");
+    assert!(r.telemetry.ooo > 0, "lanes never raced — split inactive?");
     assert_eq!(r.ooo_transport, 0, "datagrams reached the app out of order");
 }

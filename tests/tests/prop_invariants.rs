@@ -197,8 +197,8 @@ proptest! {
 mod backpressure_accounting {
     use super::*;
     use mflow_runtime::{
-        generate_frames, process_parallel_faulty, BackpressurePolicy, LaneStall, RuntimeConfig,
-        RuntimeFaults, Transport,
+        generate_frames, process_parallel_faulty, BackpressurePolicy, LaneStall, PolicyKind,
+        RuntimeConfig, RuntimeFaults, Transport,
     };
 
     proptest! {
@@ -213,17 +213,20 @@ mod backpressure_accounting {
             watermark in 1usize..4,
             policy_sel in 0usize..3,
             transport_sel in 0usize..2,
+            steer_sel in 0usize..6,
         ) {
             // Pressure a lane with a sustained stall and check the
             // conservation law of the overload model: every offered
             // packet ends up delivered, shed (whole micro-flows, with a
             // lane attributed), or inside a flushed micro-flow — under
-            // Block, DropTail and Inline alike, over both transports.
+            // Block, DropTail and Inline alike, over both transports and
+            // every steering policy (pinned, chained, or splitting).
             let policy = match policy_sel {
                 0 => BackpressurePolicy::Block,
                 1 => BackpressurePolicy::DropTail { budget: u64::MAX },
                 _ => BackpressurePolicy::Inline,
             };
+            let steering = PolicyKind::ALL[steer_sel];
             let transport = match transport_sel {
                 0 => Transport::Mpsc,
                 _ => Transport::Ring,
@@ -237,6 +240,7 @@ mod backpressure_accounting {
                 high_watermark: Some(watermark.min(depth)),
                 inline_fallback: false,
                 transport,
+                policy: steering,
                 ..RuntimeConfig::default()
             };
             let mut faults = RuntimeFaults::none();
@@ -246,7 +250,7 @@ mod backpressure_accounting {
 
             // Conservation: nothing vanishes unaccounted.
             prop_assert_eq!(
-                out.digests.len() as u64 + out.shed_packets,
+                out.digests.len() as u64 + out.telemetry.shed,
                 n as u64,
                 "delivered + shed != offered"
             );
@@ -269,14 +273,23 @@ mod backpressure_accounting {
             }
             // Lossless policies must not shed, period.
             if !matches!(policy, BackpressurePolicy::DropTail { .. }) {
-                prop_assert_eq!(out.shed_packets, 0);
+                prop_assert_eq!(out.telemetry.shed, 0);
                 prop_assert_eq!(out.digests.len(), n);
             }
             for &(_, lane) in &out.sheds {
                 prop_assert!(lane < workers, "shed attributed to non-primary lane {}", lane);
             }
+            // Non-splitting policies never interleave one flow across
+            // lanes on the primary path; any merge-input disorder must
+            // come from recovery/inline lanes, which only exist when the
+            // run could shed or go inline.
+            if !steering.reorders()
+                && matches!(policy, BackpressurePolicy::Block)
+            {
+                prop_assert_eq!(out.telemetry.ooo, 0, "pinned policy raced at merge");
+            }
             // No phantom load left behind in the occupancy counters.
-            for (i, &d) in out.lane_depths.iter().enumerate() {
+            for (i, &d) in out.telemetry.lane_depths.iter().enumerate() {
                 prop_assert_eq!(d, 0, "stale end-of-run depth on lane {}", i);
             }
         }
@@ -296,7 +309,7 @@ fn splitmix(seed: u64, k: u64) -> u64 {
 mod sim_conservation {
     use super::*;
     use integration_tests::quick;
-    use mflow::{install, MflowConfig};
+    use mflow::{try_install, MflowConfig};
     use mflow_netstack::{FlowSpec, PathKind, StackConfig, StackSim};
 
     proptest! {
@@ -317,15 +330,15 @@ mod sim_conservation {
             cfg.seed = seed;
             let mut mcfg = MflowConfig::tcp_full_path();
             mcfg.batch_size = batch;
-            let (policy, merge) = install(mcfg);
-            let r = StackSim::run(cfg, policy, Some(merge));
+            let (policy, merge) = try_install(mcfg).expect("stock mflow config");
+            let r = StackSim::try_run(cfg, policy, Some(merge)).expect("valid stack config");
             prop_assert_eq!(r.ring_drops, 0);
             prop_assert_eq!(r.sock_push_fail_tcp, 0);
             prop_assert_eq!(r.tcp_ooo_inserts, 0);
             // A handful of skbs may sit in the merger when the simulation
             // deadline cuts the run mid-micro-flow; anything larger is a
             // leak.
-            prop_assert!(r.merge_residue < 520, "merger leak: {}", r.merge_residue);
+            prop_assert!(r.telemetry.residue < 520, "merger leak: {}", r.telemetry.residue);
             prop_assert!(r.delivered_bytes > 0);
         }
     }

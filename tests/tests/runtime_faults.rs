@@ -13,8 +13,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mflow_runtime::{
-    generate_frames, process_parallel_faulty, process_serial, Frame, RuntimeConfig, RuntimeFaults,
-    Transport, WorkerKill,
+    generate_frames, process_parallel_faulty, process_serial, Frame, PolicyKind, RuntimeConfig,
+    RuntimeFaults, Transport, WorkerKill,
 };
 
 /// Every scenario runs over both transports: the degradation contract is
@@ -83,7 +83,7 @@ fn check_degraded(
             r.seq
         );
     }
-    assert_eq!(out.merge_residue, 0, "items left parked in the merger");
+    assert_eq!(out.telemetry.residue, 0, "items left parked in the merger");
 
     // Every missing packet is attributable: planned drop, flushed
     // micro-flow, or (for a killed worker) a batch inside the bounded
@@ -117,9 +117,9 @@ fn check_degraded(
     // run is over: live lanes drained, dead lanes were zeroed when the
     // death was discovered (the stale-counter bugfix under test).
     assert!(
-        out.lane_depths.iter().all(|&d| d == 0),
+        out.telemetry.lane_depths.iter().all(|&d| d == 0),
         "stale end-of-run lane depths {:?} ({:?})",
-        out.lane_depths,
+        out.telemetry.lane_depths,
         cfg.transport
     );
     out
@@ -190,7 +190,7 @@ fn killed_worker_is_reported_and_its_queue_redispatched() {
         // With ~37 batches headed at the doomed lane the kill always
         // fires, and the dispatcher always hits the dead channel after.
         assert_eq!(out.workers_died, 1);
-        assert!(out.redispatched >= 1, "death must trigger redispatch");
+        assert!(out.telemetry.redispatched >= 1, "death must trigger redispatch");
     }
 }
 
@@ -222,7 +222,7 @@ fn losing_every_batch_closer_flushes_every_microflow_exactly() {
             .collect();
         let got: Vec<u64> = out.digests.iter().map(|r| r.seq).collect();
         assert_eq!(got, expected);
-        assert_eq!(out.fault_drops, dropped.len() as u64);
+        assert_eq!(out.telemetry.fault_drops, dropped.len() as u64);
 
         // Every dispatched micro-flow was force-flushed and reported.
         let n_mfs = mf_of.values().copied().collect::<BTreeSet<_>>().len();
@@ -252,10 +252,52 @@ fn duplicated_microflows_are_rejected_and_output_is_exact() {
         let out = check_degraded(&frames, &cfg, &faults);
         assert_eq!(out.digests, serial.digests);
         assert_eq!(
-            out.merge_dup_drops + out.merge_late_drops,
+            out.telemetry.dup + out.telemetry.late,
             frames.len() as u64,
             "each packet's second copy must be rejected exactly once"
         );
         assert!(out.flushed_mfs.is_empty(), "no loss, nothing to flush");
+    }
+}
+
+#[test]
+fn degradation_contract_holds_under_every_policy() {
+    // Loss, duplication, late redispatch and a killed worker, under each
+    // steering policy: whole-flow pinning concentrates everything on one
+    // lane, FALCON chains route it through every worker in sequence, and
+    // MFLOW spreads it — the attribution contract must hold regardless.
+    let frames = generate_frames(1_500, 64);
+    for policy in PolicyKind::ALL {
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                workers: 3,
+                batch_size: 16,
+                queue_depth: 4,
+                policy,
+                transport,
+                ..RuntimeConfig::default()
+            };
+            let faults = RuntimeFaults {
+                seed: 0xF00D,
+                drop_rate: 0.01,
+                drop_last_rate: 0.03,
+                dup_mf_rate: 0.05,
+                late_mf_rate: 0.05,
+                late_by: 2,
+                kill: Some(WorkerKill {
+                    worker: 0,
+                    after_batches: 5,
+                }),
+                flush_timeout_ms: Some(40),
+                ..RuntimeFaults::none()
+            };
+            let out = check_degraded(&frames, &cfg, &faults);
+            // A pinned policy may leave worker 0 idle, in which case the
+            // kill never fires; at most the one doomed worker dies.
+            assert!(
+                out.workers_died <= 1,
+                "{policy}: more deaths than injected ({transport:?})"
+            );
+        }
     }
 }
