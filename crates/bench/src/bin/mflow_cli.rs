@@ -8,13 +8,16 @@
 //!     [--flows N] [--batch 256] [--seed 42] [--no-noise] [--cpu]
 //! ```
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use mflow::MflowConfig;
 use mflow_netstack::{
     FaultConfig, FlowSpec, NoiseConfig, StackConfig, StackSim, Transport,
 };
 use mflow_runtime::{
-    generate_frames, process_parallel, process_parallel_faulty, BackpressurePolicy, LaneStall,
-    PolicyKind, RuntimeConfig, RuntimeFaults, SlowWorker, Transport as RtTransport,
+    generate_frames, process_parallel, process_parallel_faulty, process_serial,
+    BackpressurePolicy, Frame, LaneStall, PolicyKind, RuntimeConfig, RuntimeFaults, SlowWorker,
+    Transport as RtTransport, WorkerKill,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -49,6 +52,16 @@ struct Args {
     rt_transport: RtTransport,
     merger_depth: usize,
     rt_policy: PolicyKind,
+    // Supervision (runtime mode).
+    restart_budget: u32,
+    heartbeat_interval_ms: Option<u64>,
+    restart_backoff_ms: u64,
+    // Chaos-soak mode.
+    chaos_soak: bool,
+    chaos_seed: u64,
+    chaos_frames: usize,
+    chaos_policies: Vec<PolicyKind>,
+    chaos_transports: Vec<RtTransport>,
     // Transport-comparison bench mode.
     bench_transport: bool,
     // Policy-comparison bench mode.
@@ -72,7 +85,10 @@ fn usage() -> ! {
          \x20                [--inline-fallback] [--high-watermark DEPTH]\n\
          \x20                [--fault-lane-stall WORKER:MS] [--fault-slow-worker WORKER:US]\n\
          \x20                [--flush-timeout-ms MS] [--rt-transport mpsc|ring]\n\
-         \x20                [--merger-depth RESULTS]\n\
+         \x20                [--merger-depth RESULTS] [--restart-budget N]\n\
+         \x20                [--heartbeat-interval-ms MS] [--restart-backoff-ms MS]\n\
+         \x20  chaos mode:   --chaos-soak [--chaos-seed N] [--chaos-frames N]\n\
+         \x20                [--chaos-policies p1,p2,..] [--chaos-transports mpsc,ring]\n\
          \x20  bench mode:   --bench-transport [--frames N] [--bench-out PATH]\n\
          \x20                [--bench-enforce]"
     );
@@ -107,6 +123,14 @@ fn parse_args() -> Args {
         rt_transport: RtTransport::Mpsc,
         merger_depth: RuntimeConfig::default().merger_depth,
         rt_policy: PolicyKind::Mflow,
+        restart_budget: 0,
+        heartbeat_interval_ms: None,
+        restart_backoff_ms: RuntimeConfig::default().restart_backoff_ms,
+        chaos_soak: false,
+        chaos_seed: 42,
+        chaos_frames: 4_000,
+        chaos_policies: PolicyKind::ALL.to_vec(),
+        chaos_transports: vec![RtTransport::Mpsc, RtTransport::Ring],
         bench_transport: false,
         bench_policy: false,
         bench_out: String::new(),
@@ -250,6 +274,47 @@ fn parse_args() -> Args {
                     usage()
                 })
             }
+            "--restart-budget" => {
+                args.restart_budget = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--heartbeat-interval-ms" => {
+                args.heartbeat_interval_ms =
+                    Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--restart-backoff-ms" => {
+                args.restart_backoff_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos-soak" => args.chaos_soak = true,
+            "--chaos-seed" => {
+                args.chaos_seed = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos-frames" => {
+                args.chaos_frames = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos-policies" => {
+                args.chaos_policies = value(&mut i)
+                    .split(',')
+                    .map(|p| {
+                        PolicyKind::parse(p).unwrap_or_else(|| {
+                            eprintln!("unknown steering policy '{p}'");
+                            usage()
+                        })
+                    })
+                    .collect()
+            }
+            "--chaos-transports" => {
+                args.chaos_transports = value(&mut i)
+                    .split(',')
+                    .map(|t| match t {
+                        "mpsc" => RtTransport::Mpsc,
+                        "ring" => RtTransport::Ring,
+                        other => {
+                            eprintln!("unknown runtime transport '{other}'");
+                            usage()
+                        }
+                    })
+                    .collect()
+            }
             "--bench-transport" => args.bench_transport = true,
             "--bench-policy" => args.bench_policy = true,
             "--bench-out" => args.bench_out = value(&mut i),
@@ -284,6 +349,9 @@ fn run_runtime(a: &Args) {
         transport: a.rt_transport,
         merger_depth: a.merger_depth,
         policy: a.rt_policy,
+        heartbeat_interval_ms: a.heartbeat_interval_ms,
+        restart_budget: a.restart_budget,
+        restart_backoff_ms: a.restart_backoff_ms,
     };
     let frames = generate_frames(a.frames, 1400);
     let out = match process_parallel_faulty(&frames, &cfg, &a.rt_faults) {
@@ -328,6 +396,23 @@ fn run_runtime(a: &Args) {
         "ordering: {} raced at merge; faults: {} drops, {} redispatched, {} workers died",
         out.telemetry.ooo, out.telemetry.fault_drops, out.telemetry.redispatched, out.workers_died
     );
+    if cfg.supervised() {
+        println!(
+            "supervision: {} restarts, {} heartbeat misses, worst recovery {:.2} ms, {} respawned / {} abandoned",
+            out.telemetry.restarts,
+            out.telemetry.heartbeat_misses,
+            out.telemetry.recovery_ns as f64 / 1e6,
+            out.workers_respawned,
+            out.workers_abandoned,
+        );
+        if out.recovery.recovered_ns > 0 {
+            println!(
+                "recovery rate: {:.2} Mfps pre-fault -> {:.2} Mfps post-respawn",
+                out.recovery.prefault_rate() / 1e6,
+                out.recovery.recovered_rate() / 1e6,
+            );
+        }
+    }
     // The machine-readable line: the same schema both engines emit.
     println!(
         "telemetry: {}",
@@ -335,6 +420,273 @@ fn run_runtime(a: &Args) {
             ("workers_died", out.workers_died.to_string()),
             ("backpressure_events", out.backpressure_events.to_string()),
         ])
+    );
+}
+
+/// SplitMix64 — the same mixer the runtime fault plan uses. The CLI
+/// needs it only to derive per-cell seeds and kill points; determinism
+/// (same seed -> same schedule) is what makes a soak failure replayable.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a cell seed from the soak seed and the cell's *names* (not
+/// its index): a replay run filtered to one policy/transport pair folds
+/// the identical strings and reproduces the identical seed.
+fn cell_seed(soak_seed: u64, policy: PolicyKind, transport: RtTransport) -> u64 {
+    let mut acc = splitmix(soak_seed);
+    for b in policy
+        .name()
+        .bytes()
+        .chain(rt_transport_name(transport).bytes())
+    {
+        acc = splitmix(acc ^ b as u64);
+    }
+    acc
+}
+
+fn rt_transport_name(t: RtTransport) -> &'static str {
+    match t {
+        RtTransport::Mpsc => "mpsc",
+        RtTransport::Ring => "ring",
+    }
+}
+
+/// Replays the dispatcher's batching walk to predict, from the seed
+/// alone, which packets the fault plan deletes at dispatch and which
+/// micro-flow every surviving packet belongs to. Mirrors the dispatcher
+/// exactly: drops shift batch boundaries because batches close on
+/// retained length.
+fn replay_dispatch(
+    n: usize,
+    batch_size: usize,
+    faults: &RuntimeFaults,
+) -> (BTreeSet<u64>, BTreeMap<u64, u64>) {
+    let mut dropped = BTreeSet::new();
+    let mut mf_of = BTreeMap::new();
+    let mut mf_id = 0u64;
+    let mut len = 0usize;
+    for i in 0..n {
+        let seq = i as u64;
+        let last = len + 1 == batch_size || i + 1 == n;
+        if faults.drops_packet(mf_id, seq, last) {
+            dropped.insert(seq);
+        } else {
+            len += 1;
+            mf_of.insert(seq, mf_id);
+        }
+        if last {
+            mf_id += 1;
+            len = 0;
+        }
+    }
+    (dropped, mf_of)
+}
+
+/// One finished soak cell, for the summary line.
+struct CellReport {
+    delivered: usize,
+    restarts: u64,
+    heartbeat_misses: u64,
+    workers_died: usize,
+    flushed: usize,
+    elapsed_ms: f64,
+}
+
+/// Runs one policy x transport cell of the chaos soak and checks the
+/// full degradation contract. Every fault decision is a pure function
+/// of the cell seed, so a violation message is a complete reproduction
+/// recipe.
+fn run_chaos_cell(
+    frames: &[Frame],
+    reference: &BTreeMap<u64, u64>,
+    policy: PolicyKind,
+    transport: RtTransport,
+    seed: u64,
+) -> Result<CellReport, String> {
+    let cfg = RuntimeConfig {
+        workers: 4,
+        batch_size: 32,
+        queue_depth: 8,
+        backpressure: BackpressurePolicy::Block,
+        transport,
+        policy,
+        heartbeat_interval_ms: Some(25),
+        restart_budget: 32,
+        restart_backoff_ms: 1,
+        ..RuntimeConfig::default()
+    };
+    // One scheduled death per worker slot the policy materialises: every
+    // fan-out lane, or every FALCON chain stage. Kill points land after
+    // 2..=7 processed batches so the pre-fault rate window exists.
+    let kills: Vec<WorkerKill> = (0..policy.worker_slots(cfg.workers))
+        .map(|slot| WorkerKill {
+            worker: slot,
+            after_batches: 2 + splitmix(seed ^ (slot as u64).wrapping_mul(0x9E37)) % 6,
+            incarnation: 0,
+        })
+        .collect();
+    let faults = RuntimeFaults {
+        seed,
+        drop_rate: 0.01,
+        drop_last_rate: 0.02,
+        dup_mf_rate: 0.03,
+        late_mf_rate: 0.03,
+        late_by: 3,
+        stall_rate: 0.01,
+        stall_ms: 1,
+        kills,
+        flush_timeout_ms: Some(40),
+        ..RuntimeFaults::none()
+    };
+    let (dropped, mf_of) = replay_dispatch(frames.len(), cfg.batch_size, &faults);
+
+    let out = process_parallel_faulty(frames, &cfg, &faults)
+        .map_err(|e| format!("run failed outright: {e}"))?;
+
+    // Ordering: strictly increasing seqs (no inversion, no duplicate),
+    // every digest bit-identical to the serial reference.
+    for pair in out.digests.windows(2) {
+        if pair[0].seq >= pair[1].seq {
+            return Err(format!(
+                "ordering violated at merge: seq {} -> {}",
+                pair[0].seq, pair[1].seq
+            ));
+        }
+    }
+    for r in &out.digests {
+        if reference.get(&r.seq) != Some(&r.digest) {
+            return Err(format!("digest mismatch at seq {}", r.seq));
+        }
+    }
+    if out.telemetry.residue != 0 {
+        return Err(format!(
+            "{} items left parked in the merger",
+            out.telemetry.residue
+        ));
+    }
+
+    // Conservation: every offered packet is delivered, a replayable
+    // dispatch-time drop, in a flushed micro-flow, or inside the bounded
+    // in-flight window each worker death can take with it.
+    let present: BTreeSet<u64> = out.digests.iter().map(|r| r.seq).collect();
+    let flushed: BTreeSet<u64> = out.flushed_mfs.iter().copied().collect();
+    let mut unattributed = BTreeSet::new();
+    for seq in 0..frames.len() as u64 {
+        if present.contains(&seq) || dropped.contains(&seq) {
+            continue;
+        }
+        let mf = mf_of[&seq];
+        if !flushed.contains(&mf) {
+            unattributed.insert(mf);
+        }
+    }
+    let window = (cfg.queue_depth + 2) * out.workers_died;
+    if unattributed.len() > window {
+        return Err(format!(
+            "conservation violated: {} micro-flows lost without attribution \
+             ({window}-batch death window): {unattributed:?}",
+            unattributed.len()
+        ));
+    }
+    if out.telemetry.lane_depths.iter().any(|&d| d != 0) {
+        return Err(format!(
+            "stale end-of-run lane depths {:?}",
+            out.telemetry.lane_depths
+        ));
+    }
+
+    // Liveness: the scheduled deaths on traffic-bearing slots must have
+    // fired and been healed. Whole-flow pinning routes the single test
+    // flow to one lane, so only that lane's kill is guaranteed to fire;
+    // MFLOW spreads batches over every lane and FALCON chains pipe every
+    // batch through every stage.
+    let expected_restarts = match policy {
+        PolicyKind::Mflow => cfg.workers as u64,
+        PolicyKind::FalconDev | PolicyKind::FalconFunc => policy.worker_slots(cfg.workers) as u64,
+        _ => 1,
+    };
+    if out.telemetry.restarts < expected_restarts {
+        return Err(format!(
+            "supervisor healed {} workers, expected at least {expected_restarts}",
+            out.telemetry.restarts
+        ));
+    }
+
+    Ok(CellReport {
+        delivered: out.digests.len(),
+        restarts: out.telemetry.restarts,
+        heartbeat_misses: out.telemetry.heartbeat_misses,
+        workers_died: out.workers_died,
+        flushed: out.flushed_mfs.len(),
+        elapsed_ms: out.elapsed.as_secs_f64() * 1e3,
+    })
+}
+
+/// `--chaos-soak`: run a seed-derived randomized fault schedule (worker
+/// deaths, stalls, packet drops, duplicate and late micro-flows) over
+/// every requested policy x transport cell and check the degradation
+/// contract continuously. On any violation, prints a single replay
+/// command that reproduces the failing cell byte-for-byte and exits
+/// nonzero.
+fn run_chaos_soak(a: &Args) {
+    let frames = generate_frames(a.chaos_frames, 256);
+    let serial = process_serial(&frames);
+    let reference: BTreeMap<u64, u64> = serial.digests.iter().map(|r| (r.seq, r.digest)).collect();
+    println!(
+        "chaos soak: seed {} over {} frames, {} policies x {} transports",
+        a.chaos_seed,
+        a.chaos_frames,
+        a.chaos_policies.len(),
+        a.chaos_transports.len()
+    );
+    let mut violations = 0usize;
+    let mut total_restarts = 0u64;
+    for &policy in &a.chaos_policies {
+        for &transport in &a.chaos_transports {
+            let seed = cell_seed(a.chaos_seed, policy, transport);
+            let tname = rt_transport_name(transport);
+            match run_chaos_cell(&frames, &reference, policy, transport, seed) {
+                Ok(r) => {
+                    total_restarts += r.restarts;
+                    println!(
+                        "chaos[{policy}/{tname}]: OK — {} delivered, {} flushed mfs, \
+                         {} died / {} restarts, {} heartbeat misses, {:.1} ms",
+                        r.delivered,
+                        r.flushed,
+                        r.workers_died,
+                        r.restarts,
+                        r.heartbeat_misses,
+                        r.elapsed_ms
+                    );
+                }
+                Err(msg) => {
+                    violations += 1;
+                    println!("chaos[{policy}/{tname}]: VIOLATION — {msg}");
+                    println!(
+                        "REPLAY: cargo run --release -p mflow-bench --bin mflow_cli -- \
+                         --chaos-soak --chaos-seed {} --chaos-frames {} \
+                         --chaos-policies {} --chaos-transports {}",
+                        a.chaos_seed,
+                        a.chaos_frames,
+                        policy.name(),
+                        tname
+                    );
+                }
+            }
+        }
+    }
+    if violations > 0 {
+        eprintln!("chaos soak FAILED: {violations} cell(s) violated the degradation contract");
+        std::process::exit(1);
+    }
+    println!(
+        "chaos soak passed: {} cells, {} restarts total, 0 violations",
+        a.chaos_policies.len() * a.chaos_transports.len(),
+        total_restarts
     );
 }
 
@@ -629,6 +981,10 @@ fn run_bench_policy(a: &Args) {
 
 fn main() {
     let a = parse_args();
+    if a.chaos_soak {
+        run_chaos_soak(&a);
+        return;
+    }
     if a.bench_transport {
         run_bench_transport(&a);
         return;

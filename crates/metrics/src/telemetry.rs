@@ -38,6 +38,14 @@
 ///   injector (so conservation checks can account for them).
 /// * `residue` — packets still parked in reassembly buffers at the end
 ///   of the run (should be zero after a drain).
+/// * `restarts` — worker threads respawned by the supervisor after a
+///   death or stall was detected (runtime engine).
+/// * `heartbeat_misses` — times the watchdog declared a worker stalled
+///   because its heartbeat epoch went stale past the deadline while it
+///   had work queued (runtime engine).
+/// * `recovery_ns` — worst-case time-to-recovery: the longest gap
+///   between a death being observed and the replacement worker being
+///   live (runtime engine).
 /// * `lane_depths` — end-of-run per-lane backlog (runtime: batches per
 ///   worker queue; simulator: segments per split lane).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -56,6 +64,9 @@ pub struct Telemetry {
     pub redispatched: u64,
     pub fault_drops: u64,
     pub residue: u64,
+    pub restarts: u64,
+    pub heartbeat_misses: u64,
+    pub recovery_ns: u64,
     pub lane_depths: Vec<u64>,
 }
 
@@ -71,7 +82,7 @@ impl Telemetry {
     /// The scalar counter keys, in serialization order. Exposed so tests
     /// and the bench harness can verify every engine emits the same
     /// schema without parsing JSON.
-    pub const SCALAR_KEYS: [&'static str; 12] = [
+    pub const SCALAR_KEYS: [&'static str; 15] = [
         "delivered",
         "ooo",
         "flushed",
@@ -84,9 +95,12 @@ impl Telemetry {
         "redispatched",
         "fault_drops",
         "residue",
+        "restarts",
+        "heartbeat_misses",
+        "recovery_ns",
     ];
 
-    fn scalars(&self) -> [u64; 12] {
+    fn scalars(&self) -> [u64; 15] {
         [
             self.delivered,
             self.ooo,
@@ -100,6 +114,9 @@ impl Telemetry {
             self.redispatched,
             self.fault_drops,
             self.residue,
+            self.restarts,
+            self.heartbeat_misses,
+            self.recovery_ns,
         ]
     }
 

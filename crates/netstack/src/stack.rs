@@ -940,6 +940,11 @@ impl StackSim {
             redispatched: 0,
             fault_drops: fault_counts.drops,
             residue: merge_residue as u64,
+            // The simulator has no thread supervision; the counters exist
+            // only in the runtime engine.
+            restarts: 0,
+            heartbeat_misses: 0,
+            recovery_ns: 0,
             lane_depths: self.backlog_watermark.clone(),
         };
         RunReport {

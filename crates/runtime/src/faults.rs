@@ -14,6 +14,8 @@
 //! scheduler *does* with the faults varies, which is exactly the space
 //! the stress tests explore.
 
+use std::sync::{Arc, Mutex};
+
 /// Kill one worker thread mid-run.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkerKill {
@@ -21,6 +23,56 @@ pub struct WorkerKill {
     pub worker: usize,
     /// The worker panics after processing this many batches.
     pub after_batches: u64,
+    /// Which incarnation of the slot to kill: 0 is the originally spawned
+    /// worker, 1 the first supervised respawn, and so on. Without a
+    /// supervisor only incarnation 0 ever exists.
+    pub incarnation: u64,
+}
+
+/// One injected fault, as recorded by [`FaultLog`]. The variants carry
+/// only schedule-determined data (micro-flow ids, packet seqs, slots) —
+/// never timing — so two runs of the same seed produce the same multiset
+/// of events regardless of transport or thread interleaving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultEvent {
+    /// A packet was deleted at dispatch.
+    Drop { mf_id: u64, seq: u64 },
+    /// A whole micro-flow was dispatched twice.
+    DupMf { mf_id: u64 },
+    /// A whole micro-flow was held back and dispatched late.
+    LateMf { mf_id: u64 },
+    /// A worker stalled before a batch of this micro-flow.
+    Stall { worker: usize, mf_id: u64 },
+    /// A worker incarnation was killed.
+    Kill { worker: usize, incarnation: u64 },
+}
+
+/// Shared log of injected fault events, filled in by the pipeline as the
+/// schedule fires. Clone it, hand the clone to [`RuntimeFaults::log`],
+/// and read it back after the run — the canonically sorted event list is
+/// the transport-invariance witness the chaos tests compare across
+/// `Mpsc` and `Ring`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog(Arc<Mutex<Vec<FaultEvent>>>);
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fired event.
+    pub fn record(&self, event: FaultEvent) {
+        self.0.lock().expect("fault log poisoned").push(event);
+    }
+
+    /// All recorded events, canonically sorted (schedule order, not
+    /// arrival order) so logs from different transports compare equal.
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut events = self.0.lock().expect("fault log poisoned").clone();
+        events.sort_unstable();
+        events
+    }
 }
 
 /// Sustained stall of one lane: the worker sleeps before *every* batch,
@@ -74,6 +126,9 @@ pub struct RuntimeFaults {
     pub stall_ms: u64,
     /// Kill a worker mid-run.
     pub kill: Option<WorkerKill>,
+    /// Additional kills beyond [`RuntimeFaults::kill`] — a chaos schedule
+    /// can target every slot (and respawned incarnations) in one run.
+    pub kills: Vec<WorkerKill>,
     /// Sustained stall of one lane (sleep before every batch).
     pub lane_stall: Option<LaneStall>,
     /// Slow-consumer worker (per-batch microsecond slowdown).
@@ -82,6 +137,9 @@ pub struct RuntimeFaults {
     /// force-advances past the micro-flow it is stuck on. `None` waits
     /// forever (only safe without loss faults).
     pub flush_timeout_ms: Option<u64>,
+    /// Optional shared log of fired events (see [`FaultLog`]). `None`
+    /// skips recording entirely.
+    pub log: Option<FaultLog>,
 }
 
 impl RuntimeFaults {
@@ -99,9 +157,11 @@ impl RuntimeFaults {
             stall_rate: 0.0,
             stall_ms: 1,
             kill: None,
+            kills: Vec::new(),
             lane_stall: None,
             slow_worker: None,
             flush_timeout_ms: Some(100),
+            log: None,
         }
     }
 
@@ -113,8 +173,26 @@ impl RuntimeFaults {
             || self.late_mf_rate > 0.0
             || self.stall_rate > 0.0
             || self.kill.is_some()
+            || !self.kills.is_empty()
             || self.lane_stall.is_some()
             || self.slow_worker.is_some()
+    }
+
+    /// Whether a kill is scheduled to fire for this `(worker, incarnation)`
+    /// once it has processed `processed` batches. Checks both the single
+    /// [`RuntimeFaults::kill`] slot and the [`RuntimeFaults::kills`] list.
+    pub fn kill_fires(&self, worker: usize, incarnation: u64, processed: u64) -> bool {
+        self.kill
+            .iter()
+            .chain(self.kills.iter())
+            .any(|k| k.worker == worker && k.incarnation == incarnation && processed >= k.after_batches)
+    }
+
+    /// Records `event` into the attached [`FaultLog`], if any.
+    pub(crate) fn note(&self, event: FaultEvent) {
+        if let Some(log) = &self.log {
+            log.record(event);
+        }
     }
 
     /// True with probability `rate`, as a pure function of the key.
@@ -182,8 +260,47 @@ mod tests {
         f.kill = Some(WorkerKill {
             worker: 0,
             after_batches: 5,
+            incarnation: 0,
         });
         assert!(f.is_active());
+        let mut f = RuntimeFaults::none();
+        f.kills.push(WorkerKill {
+            worker: 1,
+            after_batches: 3,
+            incarnation: 1,
+        });
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn kill_fires_matches_slot_and_incarnation() {
+        let mut f = RuntimeFaults::none();
+        f.kills.push(WorkerKill {
+            worker: 2,
+            after_batches: 4,
+            incarnation: 1,
+        });
+        assert!(!f.kill_fires(2, 1, 3), "not enough batches yet");
+        assert!(f.kill_fires(2, 1, 4));
+        assert!(!f.kill_fires(2, 0, 100), "wrong incarnation");
+        assert!(!f.kill_fires(1, 1, 100), "wrong slot");
+    }
+
+    #[test]
+    fn fault_log_sorts_canonically() {
+        let log = FaultLog::new();
+        log.record(FaultEvent::Kill {
+            worker: 1,
+            incarnation: 0,
+        });
+        log.record(FaultEvent::Drop { mf_id: 3, seq: 9 });
+        log.record(FaultEvent::Drop { mf_id: 1, seq: 2 });
+        let a = log.sorted();
+        // A clone shares the same backing log.
+        let b = log.clone().sorted();
+        assert_eq!(a, b);
+        assert_eq!(a[0], FaultEvent::Drop { mf_id: 1, seq: 2 });
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

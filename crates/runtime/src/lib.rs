@@ -25,15 +25,17 @@ pub mod faults;
 pub mod packet;
 pub mod pipeline;
 pub mod ring;
+pub mod supervise;
 pub mod work;
 
-pub use faults::{LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
+pub use faults::{FaultEvent, FaultLog, LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
 pub use mflow_error::MflowError;
 pub use mflow_metrics::Telemetry;
 pub use mflow_steering::{PolicyKind, SteeringPolicy};
 pub use packet::{generate_frames, Frame};
 pub use pipeline::{
-    process_parallel, process_parallel_faulty, process_serial, BackpressurePolicy, RunOutput,
-    RuntimeConfig, Transport,
+    process_parallel, process_parallel_faulty, process_serial, BackpressurePolicy, RecoveryRates,
+    RunOutput, RuntimeConfig, Transport,
 };
+pub use supervise::HeartbeatBoard;
 pub use work::{process_frame, PacketResult};

@@ -82,8 +82,9 @@
 //! dispatcher's planned drops plus the flushed micro-flows.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -92,9 +93,10 @@ use mflow_error::MflowError;
 use mflow_metrics::Telemetry;
 use mflow_steering::{build_baseline, PolicyKind, SteeringPolicy};
 
-use crate::faults::RuntimeFaults;
+use crate::faults::{FaultEvent, RuntimeFaults};
 use crate::packet::Frame;
-use crate::ring::{self, MuxRecvError, RingConsumer, RingMux, RingProducer, RingSendError};
+use crate::ring::{self, MuxRecvError, MuxRegistrar, RingConsumer, RingMux, RingProducer, RingSendError};
+use crate::supervise::{HeartbeatBoard, Supervisor};
 use crate::work::{process_frame, stage_group_sizes, PacketResult, StagedWork};
 
 /// Which cross-core handoff primitive carries batches and results.
@@ -165,6 +167,18 @@ pub struct RuntimeConfig {
     /// Which steering policy drives dispatch (lane choice, chain
     /// topology, merger engagement).
     pub policy: PolicyKind,
+    /// Missed-heartbeat deadline in milliseconds: a worker whose
+    /// heartbeat epoch has not moved for this long *while it has work
+    /// queued* is declared stalled and replaced. `None` disables the
+    /// stall watchdog (deaths are then only observed through lane
+    /// disconnects).
+    pub heartbeat_interval_ms: Option<u64>,
+    /// Total worker respawns the supervisor may perform across the run;
+    /// 0 disables respawning (today's single-recovery behavior).
+    pub restart_budget: u32,
+    /// Base respawn backoff in milliseconds; doubles per respawn of the
+    /// same slot.
+    pub restart_backoff_ms: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -179,6 +193,9 @@ impl Default for RuntimeConfig {
             transport: Transport::Mpsc,
             merger_depth: 4096,
             policy: PolicyKind::Mflow,
+            heartbeat_interval_ms: None,
+            restart_budget: 0,
+            restart_backoff_ms: 8,
         }
     }
 }
@@ -210,7 +227,56 @@ impl RuntimeConfig {
                 "must be a nonzero power of two",
             ));
         }
+        if self.heartbeat_interval_ms == Some(0) {
+            return Err(MflowError::invalid(
+                "heartbeat_interval_ms",
+                "must be at least 1 (or None to disable)",
+            ));
+        }
         Ok(())
+    }
+
+    /// Whether the supervision layer is engaged: either the stall
+    /// watchdog or the respawn machinery (or both) is on.
+    pub fn supervised(&self) -> bool {
+        self.restart_budget > 0 || self.heartbeat_interval_ms.is_some()
+    }
+}
+
+/// Dispatch-side throughput windows around the fault interval, for
+/// time-to-recovery assertions: how fast frames moved before the first
+/// observed worker death, and again after the last supervisor respawn.
+/// Zeroes when the window does not exist (no deaths, or no respawn).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryRates {
+    /// Frames dispatched before the first observed death.
+    pub prefault_frames: u64,
+    /// Wall-clock nanoseconds of the pre-fault window.
+    pub prefault_ns: u64,
+    /// Frames dispatched after the last respawn.
+    pub recovered_frames: u64,
+    /// Wall-clock nanoseconds of the post-recovery window.
+    pub recovered_ns: u64,
+}
+
+impl RecoveryRates {
+    /// Pre-fault dispatch rate in frames per second (0 when unmeasured).
+    pub fn prefault_rate(&self) -> f64 {
+        if self.prefault_ns == 0 {
+            0.0
+        } else {
+            self.prefault_frames as f64 * 1e9 / self.prefault_ns as f64
+        }
+    }
+
+    /// Post-recovery dispatch rate in frames per second (0 when
+    /// unmeasured).
+    pub fn recovered_rate(&self) -> f64 {
+        if self.recovered_ns == 0 {
+            0.0
+        } else {
+            self.recovered_frames as f64 * 1e9 / self.recovered_ns as f64
+        }
     }
 }
 
@@ -228,8 +294,16 @@ pub struct RunOutput {
     /// Micro-flow IDs the merger flushed past instead of waiting forever
     /// (the `flushed` counter is this list's length).
     pub flushed_mfs: Vec<u64>,
-    /// Worker threads that panicked during the run.
+    /// Worker threads that panicked during the run (every incarnation).
     pub workers_died: usize,
+    /// Panicked workers whose slot received a supervisor replacement.
+    pub workers_respawned: usize,
+    /// Panicked workers whose slot stayed empty (no budget, or backoff
+    /// never cleared before end of stream) — the pool shrank for good.
+    pub workers_abandoned: usize,
+    /// Dispatch throughput before the first death and after the last
+    /// respawn (zeroes when supervision is off or nothing died).
+    pub recovery: RecoveryRates,
     /// Each shed batch as `(micro-flow id, lane)` — the lane whose
     /// saturation caused the shed.
     pub sheds: Vec<(u64, usize)>,
@@ -260,6 +334,9 @@ impl RunOutput {
             elapsed,
             flushed_mfs: Vec::new(),
             workers_died: 0,
+            workers_respawned: 0,
+            workers_abandoned: 0,
+            recovery: RecoveryRates::default(),
             sheds: Vec::new(),
             inline_batches: 0,
             block_fallbacks: 0,
@@ -438,6 +515,12 @@ struct Lane {
     /// covers the full queue, the batch in the worker's hands, and the
     /// one that bounced.
     recent: VecDeque<Batch>,
+    /// Merge-counter lane id stamped on batches routed here. Initially
+    /// the slot index; a supervisor respawn moves it to a fresh id so
+    /// results a replaced (but still draining) incarnation emits can
+    /// never interleave with the new incarnation's on one tag lane —
+    /// the merger's per-lane FIFO assumption holds by construction.
+    tag_lane: usize,
 }
 
 /// Outcome of a non-blocking send attempt.
@@ -492,7 +575,9 @@ impl<'a> Dispatcher<'a> {
         let n = lanes.len();
         Self {
             lanes,
-            retain: if faults.is_active() {
+            // Supervised runs retain too: a stall-respawn needs the
+            // window to redispatch even when no fault injector is wired.
+            retain: if faults.is_active() || cfg.supervised() {
                 cfg.queue_depth + 2
             } else {
                 0
@@ -535,11 +620,52 @@ impl<'a> Dispatcher<'a> {
         std::mem::take(&mut self.lanes[lane].recent)
     }
 
-    /// Sends `batch` to worker `lane`, redispatching on failure. Pending
-    /// work is processed iteratively: a redispatch target may itself be
-    /// dead, bouncing the batch again.
+    /// Whether the lane currently has no live worker attached.
+    fn lane_dead(&self, lane: usize) -> bool {
+        self.lanes[lane].tx.is_none()
+    }
+
+    /// The merge-counter lane id for batches routed to `lane`.
+    fn tag_lane(&self, lane: usize) -> usize {
+        self.lanes[lane].tag_lane
+    }
+
+    /// Fails a lane the watchdog declared stalled: marks it dead and
+    /// redispatches its retained window, exactly as a bounced send
+    /// would. The stalled worker may still be alive and drain its queue
+    /// later — the merge counter rejects those re-deliveries as
+    /// duplicates.
+    fn fail_lane(&mut self, lane: usize) {
+        let window = self.mark_dead(lane);
+        let mut pending = Vec::new();
+        for lost in window {
+            if let Some(p) = self.reroute(lost, false) {
+                pending.push(p);
+            }
+        }
+        self.pump(pending);
+    }
+
+    /// Re-occupies a dead slot with a freshly spawned worker's lane:
+    /// installs the new sender, clears the retained window (the old one
+    /// was redispatched at death), resets the depth counter, and moves
+    /// the tag lane to a fresh id (see [`Lane::tag_lane`]).
+    fn revive(&mut self, lane: usize, tx: LaneTx<Batch>) {
+        self.lanes[lane].tx = Some(tx);
+        self.lanes[lane].recent.clear();
+        self.lanes[lane].tag_lane = self.recovery_lane;
+        self.recovery_lane += 1;
+        self.depths[lane].store(0, Ordering::Relaxed);
+    }
+
+    /// Sends `batch` to worker `lane`, redispatching on failure.
     fn send(&mut self, lane: usize, batch: Batch) {
-        let mut pending: Vec<(usize, Batch, bool)> = vec![(lane, batch, false)];
+        self.pump(vec![(lane, batch, false)]);
+    }
+
+    /// Drains a pending send list iteratively: a redispatch target may
+    /// itself be dead, bouncing the batch again.
+    fn pump(&mut self, mut pending: Vec<(usize, Batch, bool)>) {
         while let Some((lane, batch, is_recovery)) = pending.pop() {
             let Some(tx) = self.lanes[lane].tx.as_mut() else {
                 // Known-dead lane: reroute to a live worker directly.
@@ -548,10 +674,13 @@ impl<'a> Dispatcher<'a> {
                 }
                 continue;
             };
+            // Count the batch as queued *before* publishing it: worker
+            // decrements are saturating, so one observed before its
+            // increment would be lost for good. (A bounced send leaves
+            // the counter inflated only until `mark_dead` zeroes it.)
+            self.depths[lane].fetch_add(1, Ordering::Relaxed);
             match tx.send(batch) {
-                Ok(()) => {
-                    self.depths[lane].fetch_add(1, Ordering::Relaxed);
-                }
+                Ok(()) => {}
                 Err(batch) => {
                     // The worker died: everything it still held is lost.
                     // Redispatch its retained window plus this batch.
@@ -616,15 +745,21 @@ impl<'a> Dispatcher<'a> {
         }
         let copy = if self.retain > 0 { Some(batch.clone()) } else { None };
         let tx = self.lanes[lane].tx.as_mut().expect("lane checked live");
+        // Increment-before-send, as in `pump`: saturating worker-side
+        // decrements must never race ahead of the increment.
+        self.depths[lane].fetch_add(1, Ordering::Relaxed);
         match tx.try_send(batch) {
             LaneTrySend::Sent => {
-                self.depths[lane].fetch_add(1, Ordering::Relaxed);
                 if let Some(c) = copy {
                     self.remember(lane, c);
                 }
                 SendAttempt::Sent
             }
-            LaneTrySend::Full(b) => SendAttempt::Full(b),
+            LaneTrySend::Full(b) => {
+                // Nothing was enqueued; take the provisional count back.
+                depth_dec(&self.depths[lane]);
+                SendAttempt::Full(b)
+            }
             LaneTrySend::Closed(b) => {
                 // Route through the blocking path: its send error handler
                 // marks the lane dead and redispatches the retained
@@ -730,14 +865,17 @@ impl<'a> Dispatcher<'a> {
 fn apply_worker_faults(
     faults: &RuntimeFaults,
     worker: usize,
+    incarnation: u64,
     processed: u64,
     first_mf: Option<u64>,
 ) {
-    if let Some(kill) = faults.kill {
-        if kill.worker == worker && processed >= kill.after_batches {
-            // The injected death: an abrupt panic that drops the queues.
-            panic!("injected worker death");
-        }
+    if faults.kill_fires(worker, incarnation, processed) {
+        faults.note(FaultEvent::Kill {
+            worker,
+            incarnation,
+        });
+        // The injected death: an abrupt panic that drops the queues.
+        panic!("injected worker death");
     }
     if let Some(stall) = faults.lane_stall {
         if stall.worker == worker {
@@ -752,6 +890,7 @@ fn apply_worker_faults(
     }
     if let Some(id) = first_mf {
         if faults.stalls_on(id) {
+            faults.note(FaultEvent::Stall { worker, mf_id: id });
             thread::sleep(Duration::from_millis(faults.stall_ms));
         }
     }
@@ -767,28 +906,200 @@ fn complete_to_merger(merge: &mut MergeTx, staged: StageBatch) -> Result<(), ()>
     merge.send_all(results)
 }
 
-/// Forwards a staged batch down a FALCON chain. When the next hop has
-/// died, the remaining stages are completed locally and the results go
-/// straight to the merger — this worker's merger sends stay FIFO, so
-/// order survives the degradation. `Err` when the merger itself is gone.
-fn forward_staged(
-    next: &mut Option<LaneTx<StageBatch>>,
+/// Cloneable factory for merger senders, so the supervisor can wire a
+/// respawned worker into the merge fan-in mid-run: another `SyncSender`
+/// clone under `Mpsc`, a freshly registered ring under `Ring` (the
+/// registrar explicitly wakes a parked mux). Held by the dispatcher and
+/// dropped with its own sender so merger disconnect semantics are
+/// unchanged.
+enum MergeWiring {
+    Mpsc(SyncSender<Merged>),
+    Ring(MuxRegistrar<Merged>),
+}
+
+impl MergeWiring {
+    fn new_tx(&self) -> MergeTx {
+        match self {
+            MergeWiring::Mpsc(tx) => MergeTx::Mpsc(tx.clone()),
+            MergeWiring::Ring(reg) => MergeTx::Ring(reg.add_producer()),
+        }
+    }
+}
+
+/// One re-wireable FALCON chain link: the sender feeding the next stage.
+/// Lives in a shared slot (instead of being owned by the upstream
+/// worker) so the watchdog can swap in a fresh link when the downstream
+/// stage is respawned — re-homing the stage onto the new worker. The
+/// generation counter invalidates senders taken out before a re-wire.
+struct ChainSlot {
+    gen: u64,
+    tx: Option<LaneTx<StageBatch>>,
+}
+
+/// Shared chain state every stage worker (and the watchdog) sees.
+/// `slots[i]` / `dead_gens[i+1]` / `link_depths[i+1]` describe the link
+/// from stage `i` to stage `i+1`; the tail's slot stays empty forever.
+#[derive(Clone, Copy)]
+struct ChainCtx<'a> {
+    /// `slots[i]`: sender into stage `i + 1` (tail: always `None`).
+    slots: &'a [Mutex<ChainSlot>],
+    /// `link_depths[i]`: staged batches queued into stage `i` (index 0
+    /// unused — the head's backlog is the dispatcher lane depth).
+    link_depths: &'a [AtomicUsize],
+    /// `dead_gens[i]`: generation at which stage `i`'s upstream observed
+    /// it dead (`u64::MAX` = no pending death signal). The watchdog only
+    /// honors a signal matching the link's current generation, so stale
+    /// discoveries of an already-replaced link are ignored.
+    dead_gens: &'a [AtomicU64],
+}
+
+/// Saturating depth decrement: a replaced-but-still-draining incarnation
+/// may decrement after the watchdog reset the counter to zero; clamping
+/// keeps the occupancy signal from wrapping to a phantom huge backlog.
+fn depth_dec(depth: &AtomicUsize) {
+    let _ = depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(1))
+    });
+}
+
+/// Forwards a staged batch down the chain through the shared link slot.
+/// When the next hop has died, the remaining stages are completed
+/// locally and the results go straight to the merger — this worker's
+/// merger sends stay FIFO, so order survives the degradation. A death
+/// discovery is flagged (keyed by link generation) for the watchdog to
+/// respawn. `Err` when the merger itself is gone.
+fn forward_shared(
+    chain: ChainCtx<'_>,
+    slot: usize,
     merge: &mut MergeTx,
     staged: StageBatch,
 ) -> Result<(), ()> {
-    if let Some(tx) = next {
-        match tx.send(staged) {
-            Ok(()) => return Ok(()),
-            Err(bounced) => {
-                // Downstream death discovered: finish locally from now
-                // on (in-queue batches at the dead hop are lost and
-                // flushed by the merge counter).
-                *next = None;
-                return complete_to_merger(merge, bounced);
+    let (gen, tx) = {
+        let mut s = chain.slots[slot].lock().expect("chain slot lock");
+        (s.gen, s.tx.take())
+    };
+    let Some(mut tx) = tx else {
+        return complete_to_merger(merge, staged);
+    };
+    // Count the batch as queued before publishing it, so the downstream
+    // decrement can never observe the counter early.
+    chain.link_depths[slot + 1].fetch_add(1, Ordering::Relaxed);
+    match tx.send(staged) {
+        Ok(()) => {
+            let mut s = chain.slots[slot].lock().expect("chain slot lock");
+            if s.gen == gen {
+                s.tx = Some(tx);
             }
+            // Generation moved: the watchdog re-wired this link while the
+            // send was in flight; the taken-out sender fed the replaced
+            // ring and is dropped here. The batch it carried is lost with
+            // that ring and flushed by the merge counter.
+            Ok(())
+        }
+        Err(bounced) => {
+            depth_dec(&chain.link_depths[slot + 1]);
+            // Downstream death discovered: flag it for the watchdog and
+            // finish this batch locally.
+            chain.dead_gens[slot + 1].store(gen, Ordering::Release);
+            {
+                let mut s = chain.slots[slot].lock().expect("chain slot lock");
+                if s.gen == gen {
+                    s.tx = None;
+                }
+            }
+            complete_to_merger(merge, bounced)
         }
     }
-    complete_to_merger(merge, staged)
+}
+
+/// One fan-out worker incarnation: dequeue, heartbeat, full per-packet
+/// work, publish to the merger.
+#[allow(clippy::too_many_arguments)]
+fn fanout_worker_loop(
+    slot: usize,
+    incarnation: u64,
+    mut rx: LaneRx<Batch>,
+    mut tx: MergeTx,
+    faults: &RuntimeFaults,
+    depths: &[AtomicUsize],
+    beats: &HeartbeatBoard,
+) {
+    let mut processed = 0u64;
+    while let Some(batch) = rx.recv() {
+        depth_dec(&depths[slot]);
+        beats.bump(slot);
+        apply_worker_faults(faults, slot, incarnation, processed, batch.first().map(|(t, _)| t.id));
+        // Whole-batch processing, whole-batch publish: one merge-side
+        // handoff per micro-flow, not per packet.
+        let mut results = Vec::with_capacity(batch.len());
+        for (tag, frame) in batch {
+            results.push((tag, process_frame(&frame)));
+        }
+        if tx.send_all(results).is_err() {
+            // Merger gone; nothing useful left to do.
+            return;
+        }
+        processed += 1;
+    }
+}
+
+/// The chain-head incarnation: consumes dispatcher batches, applies the
+/// first stage group, forwards down the chain.
+#[allow(clippy::too_many_arguments)]
+fn chain_head_loop(
+    incarnation: u64,
+    head_group: usize,
+    mut rx: LaneRx<Batch>,
+    mut merge: MergeTx,
+    faults: &RuntimeFaults,
+    depths: &[AtomicUsize],
+    beats: &HeartbeatBoard,
+    chain: ChainCtx<'_>,
+) {
+    let mut processed = 0u64;
+    while let Some(batch) = rx.recv() {
+        depth_dec(&depths[0]);
+        beats.bump(0);
+        apply_worker_faults(faults, 0, incarnation, processed, batch.first().map(|(t, _)| t.id));
+        let staged: StageBatch = batch
+            .into_iter()
+            .map(|(tag, frame)| (tag, StagedWork::Raw(frame).advance_n(head_group)))
+            .collect();
+        if forward_shared(chain, 0, &mut merge, staged).is_err() {
+            return;
+        }
+        processed += 1;
+    }
+}
+
+/// An interior or tail chain-stage incarnation: applies its stage group
+/// and forwards (the tail's shared slot is always empty, so it completes
+/// to the merger).
+#[allow(clippy::too_many_arguments)]
+fn chain_worker_loop(
+    slot: usize,
+    incarnation: u64,
+    my_group: usize,
+    mut rx: LaneRx<StageBatch>,
+    mut merge: MergeTx,
+    faults: &RuntimeFaults,
+    beats: &HeartbeatBoard,
+    chain: ChainCtx<'_>,
+) {
+    let mut processed = 0u64;
+    while let Some(staged) = rx.recv() {
+        depth_dec(&chain.link_depths[slot]);
+        beats.bump(slot);
+        apply_worker_faults(faults, slot, incarnation, processed, staged.first().map(|(t, _)| t.id));
+        let staged: StageBatch = staged
+            .into_iter()
+            .map(|(tag, w)| (tag, w.advance_n(my_group)))
+            .collect();
+        if forward_shared(chain, slot, &mut merge, staged).is_err() {
+            return;
+        }
+        processed += 1;
+    }
 }
 
 /// MFLOW pipeline: split into micro-flows, process on `workers` threads,
@@ -831,8 +1142,12 @@ pub fn process_parallel_faulty(
     // retags batches onto recovery lanes whose arrivals may trail the
     // primary lanes indefinitely — so every policy that sheds or creates
     // recovery lanes gets the flush deadline even in otherwise faultless
-    // runs, not just DropTail.
-    let can_shed_or_recover = !matches!(cfg.backpressure, BackpressurePolicy::Block);
+    // runs, not just DropTail. Supervision counts too: a stall-respawn
+    // redispatches the retained window while the stalled worker may still
+    // drain its copy, so recovery lanes and duplicates become possible.
+    let supervised = cfg.supervised();
+    let can_shed_or_recover =
+        !matches!(cfg.backpressure, BackpressurePolicy::Block) || supervised;
     let flush_timeout = if faults.is_active() || can_shed_or_recover {
         faults.flush_timeout_ms.map(Duration::from_millis)
     } else {
@@ -848,131 +1163,116 @@ pub fn process_parallel_faulty(
     // Dispatcher -> worker lanes (SPSC: one producer, one consumer each).
     let mut lanes = Vec::with_capacity(n_lanes);
     let mut lane_rx = Vec::with_capacity(n_lanes);
-    for _ in 0..n_lanes {
+    for i in 0..n_lanes {
         let (tx, rx) = spsc_lane::<Batch>(cfg.transport, cfg.queue_depth);
         lanes.push(Lane {
             tx: Some(tx),
             recent: VecDeque::new(),
+            tag_lane: i,
         });
         lane_rx.push(rx);
     }
     // Workers (plus the dispatcher's inline lane) -> merger: one shared
-    // MPSC channel, or one SPSC ring per producer fanned into a mux.
+    // MPSC channel, or one SPSC ring per producer fanned into a mux. The
+    // wiring handle mints additional senders for respawned workers.
     let mut worker_merge_tx: Vec<MergeTx> = Vec::with_capacity(n_threads);
-    let (dispatch_merge_tx, merge_rx) = match cfg.transport {
+    let (merge_wiring, dispatch_merge_tx, merge_rx) = match cfg.transport {
         Transport::Mpsc => {
             let (tx, rx) = mpsc::sync_channel::<Merged>(cfg.merger_depth);
             for _ in 0..n_threads {
                 worker_merge_tx.push(MergeTx::Mpsc(tx.clone()));
             }
-            (MergeTx::Mpsc(tx), MergeRx::Mpsc(rx))
+            (
+                MergeWiring::Mpsc(tx.clone()),
+                MergeTx::Mpsc(tx),
+                MergeRx::Mpsc(rx),
+            )
         }
         Transport::Ring => {
-            let (mut txs, mux) = ring::ring_mux::<Merged>(n_threads + 1, cfg.merger_depth);
+            let (mut txs, mux, registrar) =
+                ring::ring_mux_with_registrar::<Merged>(n_threads + 1, cfg.merger_depth);
             let dispatch = txs.pop().expect("n_threads + 1 rings");
             for tx in txs {
                 worker_merge_tx.push(MergeTx::Ring(tx));
             }
-            (MergeTx::Ring(dispatch), MergeRx::Ring(mux))
+            (
+                MergeWiring::Ring(registrar),
+                MergeTx::Ring(dispatch),
+                MergeRx::Ring(mux),
+            )
         }
     };
     // Per-lane queue depths, the watermark signal for backpressure.
     let depths: Vec<AtomicUsize> = (0..n_lanes).map(|_| AtomicUsize::new(0)).collect();
     let depths = &depths;
+    // Per-slot heartbeat epochs, the watchdog's liveness signal.
+    let beats = HeartbeatBoard::new(n_threads);
+    let beats = &beats;
+    // FALCON chain wiring: worker i applies stage group i and forwards to
+    // worker i+1 through a shared, re-wireable link slot; the tail
+    // publishes to the merger. (All empty in fan-out mode.)
+    let group_sizes: Vec<usize> = if chain_len > 0 {
+        stage_group_sizes(chain_len)
+    } else {
+        Vec::new()
+    };
+    let group_sizes = &group_sizes;
+    let mut chain_slots: Vec<Mutex<ChainSlot>> = Vec::with_capacity(chain_len);
+    let mut link_rx_q: VecDeque<LaneRx<StageBatch>> = VecDeque::new();
+    for i in 0..chain_len {
+        let tx = if i + 1 < chain_len {
+            let (tx, rx) = spsc_lane::<StageBatch>(cfg.transport, cfg.queue_depth);
+            link_rx_q.push_back(rx);
+            Some(tx)
+        } else {
+            None
+        };
+        chain_slots.push(Mutex::new(ChainSlot { gen: 0, tx }));
+    }
+    let link_depths: Vec<AtomicUsize> = (0..chain_len).map(|_| AtomicUsize::new(0)).collect();
+    let dead_gens: Vec<AtomicU64> = (0..chain_len).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let chain = ChainCtx {
+        slots: &chain_slots,
+        link_depths: &link_depths,
+        dead_gens: &dead_gens,
+    };
 
     let scope_out = thread::scope(|s| {
-        let mut handles = Vec::with_capacity(n_threads);
+        // Worker handles tagged with their slot, so join-time panics can
+        // be attributed per slot even after respawns reorder the list.
+        let mut handles: Vec<(usize, thread::ScopedJoinHandle<'_, ()>)> =
+            Vec::with_capacity(n_threads);
         if chain_len > 0 {
-            // FALCON chain: worker i applies stage group i, forwards to
-            // worker i+1; the tail publishes to the merger. Each worker
-            // also holds a merger sender for the local-completion
-            // fallback after a downstream death.
-            let group_sizes = stage_group_sizes(chain_len);
-            let mut link_tx: Vec<LaneTx<StageBatch>> = Vec::new();
-            let mut link_rx_q: VecDeque<LaneRx<StageBatch>> = VecDeque::new();
-            for _ in 1..chain_len {
-                let (tx, rx) = spsc_lane::<StageBatch>(cfg.transport, cfg.queue_depth);
-                link_tx.push(tx);
-                link_rx_q.push_back(rx);
-            }
-            let mut link_tx_q: VecDeque<LaneTx<StageBatch>> = link_tx.into();
             let mut merge_txs = worker_merge_tx.into_iter();
-
             // Head: consumes dispatcher batches, applies the first group.
             let rx = lane_rx.pop().expect("one dispatcher lane in chain mode");
             let tx = merge_txs.next().expect("merge tx per chain worker");
-            let next = link_tx_q.pop_front();
             let head_group = group_sizes[0];
-            handles.push(s.spawn(move || {
-                let (mut rx, mut tx, mut next) = (rx, tx, next);
-                let mut processed = 0u64;
-                while let Some(batch) = rx.recv() {
-                    depths[0].fetch_sub(1, Ordering::Relaxed);
-                    apply_worker_faults(faults, 0, processed, batch.first().map(|(t, _)| t.id));
-                    let staged: StageBatch = batch
-                        .into_iter()
-                        .map(|(tag, frame)| (tag, StagedWork::Raw(frame).advance_n(head_group)))
-                        .collect();
-                    if forward_staged(&mut next, &mut tx, staged).is_err() {
-                        return;
-                    }
-                    processed += 1;
-                }
-            }));
+            handles.push((
+                0,
+                s.spawn(move || {
+                    chain_head_loop(0, head_group, rx, tx, faults, depths, beats, chain)
+                }),
+            ));
             // Interior and tail workers.
-            for (worker, my_group) in group_sizes.into_iter().enumerate().skip(1) {
+            for (slot, &my_group) in group_sizes.iter().enumerate().skip(1) {
                 let rx = link_rx_q.pop_front().expect("link per chain worker");
                 let tx = merge_txs.next().expect("merge tx per chain worker");
-                let next = link_tx_q.pop_front();
-                handles.push(s.spawn(move || {
-                    let (mut rx, mut tx, mut next) = (rx, tx, next);
-                    let mut processed = 0u64;
-                    while let Some(staged) = rx.recv() {
-                        apply_worker_faults(
-                            faults,
-                            worker,
-                            processed,
-                            staged.first().map(|(t, _)| t.id),
-                        );
-                        let staged: StageBatch = staged
-                            .into_iter()
-                            .map(|(tag, w)| (tag, w.advance_n(my_group)))
-                            .collect();
-                        if forward_staged(&mut next, &mut tx, staged).is_err() {
-                            return;
-                        }
-                        processed += 1;
-                    }
-                }));
+                handles.push((
+                    slot,
+                    s.spawn(move || {
+                        chain_worker_loop(slot, 0, my_group, rx, tx, faults, beats, chain)
+                    }),
+                ));
             }
         } else {
             // Fan-out: the "splitting cores", one full-pipeline worker
             // per lane.
-            for (worker, (rx, tx)) in lane_rx.into_iter().zip(worker_merge_tx).enumerate() {
-                handles.push(s.spawn(move || {
-                    let (mut rx, mut tx) = (rx, tx);
-                    let mut processed = 0u64;
-                    while let Some(batch) = rx.recv() {
-                        depths[worker].fetch_sub(1, Ordering::Relaxed);
-                        apply_worker_faults(
-                            faults,
-                            worker,
-                            processed,
-                            batch.first().map(|(t, _)| t.id),
-                        );
-                        // Whole-batch processing, whole-batch publish: one
-                        // merge-side handoff per micro-flow, not per packet.
-                        let mut results = Vec::with_capacity(batch.len());
-                        for (tag, frame) in batch {
-                            results.push((tag, process_frame(&frame)));
-                        }
-                        if tx.send_all(results).is_err() {
-                            // Merger gone; nothing useful left to do.
-                            return;
-                        }
-                        processed += 1;
-                    }
-                }));
+            for (slot, (rx, tx)) in lane_rx.into_iter().zip(worker_merge_tx).enumerate() {
+                handles.push((
+                    slot,
+                    s.spawn(move || fanout_worker_loop(slot, 0, rx, tx, faults, depths, beats)),
+                ));
             }
         }
 
@@ -1018,7 +1318,7 @@ pub fn process_parallel_faulty(
             }
             // End of stream: flush whatever loss left stuck so nothing
             // stays parked forever.
-            if flush_timeout.is_some() || faults.is_active() {
+            if flush_timeout.is_some() || faults.is_active() || supervised {
                 mc.flush_stalled(&mut out);
             }
             let flushed: Vec<u64> = mc.flushed_ids().iter().copied().collect();
@@ -1026,7 +1326,11 @@ pub fn process_parallel_faulty(
         });
 
         // Dispatcher: this thread plays the IRQ core's first half.
-        let mut d = Dispatcher::new(lanes, faults, cfg, depths, chain_len > 0);
+        // Orphaned batches go inline in chain mode (the chain has one
+        // entry lane, so "no live worker" is routine) and in supervised
+        // runs (total loss past the restart budget must degrade to
+        // dispatcher-inline processing, never drop the tail).
+        let mut d = Dispatcher::new(lanes, faults, cfg, depths, chain_len > 0 || supervised);
         let mut dispatch_tx = dispatch_merge_tx;
         // Batches the policy handed back are processed right here on the
         // dispatcher thread, retagged onto fresh recovery lanes so the
@@ -1042,9 +1346,17 @@ pub fn process_parallel_faulty(
             }
             let _ = tx.send_all(results);
         };
+        let mut sup = Supervisor::new(
+            n_threads,
+            cfg.heartbeat_interval_ms.map(Duration::from_millis),
+            cfg.restart_budget,
+            Duration::from_millis(cfg.restart_backoff_ms),
+            start,
+        );
         let mut fault_drops = 0u64;
         let mut mf_id = 0u64;
         let mut lane = 0usize;
+        let mut tag_lane = 0usize;
         let mut cur_hash = 0u32;
         let mut depth_snap = vec![0usize; n_lanes];
         let mut batch: Batch = Vec::with_capacity(cfg.batch_size);
@@ -1053,18 +1365,32 @@ pub fn process_parallel_faulty(
         for (i, frame) in frames.iter().enumerate() {
             let last = batch.len() + 1 == cfg.batch_size || i + 1 == n;
             if faults.drops_packet(mf_id, frame.seq, last) {
+                faults.note(FaultEvent::Drop {
+                    mf_id,
+                    seq: frame.seq,
+                });
                 fault_drops += 1;
             } else {
                 if batch.is_empty() {
                     // A micro-flow opens: ask the policy for its lane,
-                    // with a fresh view of per-lane occupancy.
+                    // with a fresh view of per-lane occupancy. The tag
+                    // carries the lane's merge-counter id, which diverges
+                    // from the physical slot after a respawn.
                     cur_hash = frame.flow_hash();
                     for (snap, depth) in depth_snap.iter_mut().zip(depths.iter()) {
                         *snap = depth.load(Ordering::Relaxed);
                     }
                     lane = policy.steer(mf_id, cur_hash, &depth_snap).min(n_lanes - 1);
+                    tag_lane = d.tag_lane(lane);
                 }
-                batch.push((MfTag { id: mf_id, lane, last }, frame.clone()));
+                batch.push((
+                    MfTag {
+                        id: mf_id,
+                        lane: tag_lane,
+                        last,
+                    },
+                    frame.clone(),
+                ));
             }
             if last {
                 let full = std::mem::take(&mut batch);
@@ -1074,8 +1400,10 @@ pub fn process_parallel_faulty(
                     if faults.is_active() && faults.delays_mf(mf_id) {
                         // Held back: will be redispatched on a recovery
                         // lane `late_by` batches from now.
+                        faults.note(FaultEvent::LateMf { mf_id });
                         delayed.push((mf_id + faults.late_by.max(1), full));
                     } else if faults.is_active() && faults.duplicates_mf(mf_id) {
+                        faults.note(FaultEvent::DupMf { mf_id });
                         d.send_retained(lane, full.clone());
                         d.send_recovery(full);
                     } else if let Some(b) = d.offer(lane, full) {
@@ -1101,7 +1429,130 @@ pub fn process_parallel_faulty(
                 for b in due {
                     d.send_recovery(b);
                 }
-                // Chain mode: batches that lost their only worker come
+                // The watchdog pass: once per dispatched micro-flow,
+                // between batches (never mid-batch, so a revived lane's
+                // fresh tag id cannot split one micro-flow across ids).
+                if supervised {
+                    let now = Instant::now();
+                    if chain_len == 0 {
+                        for slot in 0..n_lanes {
+                            // Stall detection: a stale heartbeat only
+                            // counts while work is queued — an idle
+                            // worker's epoch is legitimately still.
+                            if !d.lane_dead(slot)
+                                && sup.stale(slot, beats.read(slot), now)
+                                && depths[slot].load(Ordering::Relaxed) > 0
+                            {
+                                sup.heartbeat_misses += 1;
+                                d.fail_lane(slot);
+                            }
+                            if d.lane_dead(slot) {
+                                sup.note_death(slot, now, i as u64);
+                                if sup.allow_respawn(slot, now) {
+                                    let (tx, rx) =
+                                        spsc_lane::<Batch>(cfg.transport, cfg.queue_depth);
+                                    let mtx = merge_wiring.new_tx();
+                                    let inc = sup.on_respawn(slot, now, i as u64);
+                                    d.revive(slot, tx);
+                                    handles.push((
+                                        slot,
+                                        s.spawn(move || {
+                                            fanout_worker_loop(
+                                                slot, inc, rx, mtx, faults, depths, beats,
+                                            )
+                                        }),
+                                    ));
+                                }
+                            }
+                        }
+                    } else {
+                        // Chain head: watched through the dispatcher lane
+                        // exactly like a fan-out worker.
+                        if !d.lane_dead(0)
+                            && sup.stale(0, beats.read(0), now)
+                            && depths[0].load(Ordering::Relaxed) > 0
+                        {
+                            sup.heartbeat_misses += 1;
+                            d.fail_lane(0);
+                        }
+                        if d.lane_dead(0) {
+                            sup.note_death(0, now, i as u64);
+                            if sup.allow_respawn(0, now) {
+                                let (tx, rx) = spsc_lane::<Batch>(cfg.transport, cfg.queue_depth);
+                                let mtx = merge_wiring.new_tx();
+                                let inc = sup.on_respawn(0, now, i as u64);
+                                d.revive(0, tx);
+                                let head_group = group_sizes[0];
+                                handles.push((
+                                    0,
+                                    s.spawn(move || {
+                                        chain_head_loop(
+                                            inc, head_group, rx, mtx, faults, depths, beats,
+                                            chain,
+                                        )
+                                    }),
+                                ));
+                            }
+                        }
+                        // Interior and tail stages: watched through their
+                        // upstream link slot. A death is either flagged by
+                        // the upstream's bounced send (generation-matched)
+                        // or declared here on a stale heartbeat.
+                        for (slot, &my_group) in group_sizes.iter().enumerate().skip(1) {
+                            let cur_gen =
+                                chain.slots[slot - 1].lock().expect("chain slot lock").gen;
+                            let mut dead =
+                                chain.dead_gens[slot].load(Ordering::Acquire) == cur_gen;
+                            if !dead
+                                && sup.stale(slot, beats.read(slot), now)
+                                && chain.link_depths[slot].load(Ordering::Relaxed) > 0
+                            {
+                                // Stalled: cut the link so the upstream
+                                // completes batches locally until the
+                                // replacement is wired in.
+                                sup.heartbeat_misses += 1;
+                                let mut link =
+                                    chain.slots[slot - 1].lock().expect("chain slot lock");
+                                link.gen += 1;
+                                link.tx = None;
+                                dead = true;
+                            }
+                            if dead {
+                                sup.note_death(slot, now, i as u64);
+                                if sup.allow_respawn(slot, now) {
+                                    // Re-home the stage: fresh link, fresh
+                                    // merger sender, new incarnation. The
+                                    // generation bump invalidates any old
+                                    // sender still in flight upstream.
+                                    let (tx, rx) =
+                                        spsc_lane::<StageBatch>(cfg.transport, cfg.queue_depth);
+                                    {
+                                        let mut link = chain.slots[slot - 1]
+                                            .lock()
+                                            .expect("chain slot lock");
+                                        link.gen += 1;
+                                        link.tx = Some(tx);
+                                    }
+                                    chain.link_depths[slot].store(0, Ordering::Relaxed);
+                                    chain.dead_gens[slot].store(u64::MAX, Ordering::Release);
+                                    let mtx = merge_wiring.new_tx();
+                                    let inc = sup.on_respawn(slot, now, i as u64);
+                                    handles.push((
+                                        slot,
+                                        s.spawn(move || {
+                                            chain_worker_loop(
+                                                slot, inc, my_group, rx, mtx, faults, beats,
+                                                chain,
+                                            )
+                                        }),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Batches that lost their only reachable worker (chain
+                // mode, or a supervised run out of restart budget) come
                 // back for inline processing instead of being dropped.
                 for b in d.take_orphans() {
                     process_inline(&mut d, &mut dispatch_tx, b);
@@ -1116,6 +1567,7 @@ pub fn process_parallel_faulty(
         for b in d.take_orphans() {
             process_inline(&mut d, &mut dispatch_tx, b);
         }
+        let dispatch_done = Instant::now();
         let shed_packets = d.shed_packets;
         let sheds = std::mem::take(&mut d.sheds);
         let inline_batches = d.inline_batches;
@@ -1123,24 +1575,56 @@ pub fn process_parallel_faulty(
         let block_fallbacks = d.block_fallbacks;
         let backpressure_events = d.backpressure_events;
         let redispatched = d.finish();
-        // The dispatcher's merger sender goes last: with it gone, the
-        // merger exits once the workers drain.
+        // The dispatcher's merger sender — and the wiring handle that can
+        // mint more — go last: with them gone, the merger exits once the
+        // workers drain.
         drop(dispatch_tx);
+        drop(merge_wiring);
 
         // Join workers first (they feed the merger); injected deaths
-        // surface here as panics and are counted, not propagated. A
-        // death the dispatcher never observed (no send to that lane
-        // afterwards) still leaves queued batches undequeued, so zero
-        // the lane's depth here too.
-        let mut workers_died = 0usize;
-        for (worker, h) in handles.into_iter().enumerate() {
-            if h.join().is_err() {
-                workers_died += 1;
-                if worker < n_lanes {
-                    depths[worker].store(0, Ordering::Relaxed);
+        // surface here as panics and are counted per slot, not
+        // propagated. A death the dispatcher never observed (no send to
+        // that lane afterwards) still leaves queued batches undequeued,
+        // so zero the lane's depth too — a clean final incarnation
+        // drained its queue to zero anyway, so this never masks a leak.
+        let mut deaths_by_slot = vec![0u32; n_threads];
+        if chain_len > 0 {
+            // Staged join, stage by stage down the chain: only after
+            // every incarnation of stage `slot` has exited is its
+            // outgoing link cut, so the next stage sees end-of-stream
+            // strictly after its upstream finished producing.
+            let mut remaining = handles;
+            #[allow(clippy::needless_range_loop)] // indexes two arrays of different lengths
+            for slot in 0..chain_len {
+                let (mine, rest): (Vec<_>, Vec<_>) =
+                    remaining.into_iter().partition(|(owner, _)| *owner == slot);
+                remaining = rest;
+                for (_, h) in mine {
+                    if h.join().is_err() {
+                        deaths_by_slot[slot] += 1;
+                    }
+                }
+                let mut link = chain.slots[slot].lock().expect("chain slot lock");
+                link.gen += 1;
+                link.tx = None;
+            }
+            if deaths_by_slot[0] > 0 {
+                depths[0].store(0, Ordering::Relaxed);
+            }
+        } else {
+            for (slot, h) in handles {
+                if h.join().is_err() {
+                    deaths_by_slot[slot] += 1;
+                }
+            }
+            for (slot, &deaths) in deaths_by_slot.iter().enumerate() {
+                if deaths > 0 {
+                    depths[slot].store(0, Ordering::Relaxed);
                 }
             }
         }
+        let workers_died: usize = deaths_by_slot.iter().map(|&d| d as usize).sum();
+        let (workers_respawned, workers_abandoned) = sup.classify_deaths(&deaths_by_slot);
         let lane_depths: Vec<usize> =
             depths.iter().map(|d| d.load(Ordering::Relaxed)).collect();
         let merged = match merger.join() {
@@ -1149,12 +1633,21 @@ pub fn process_parallel_faulty(
             // bug, surfaced as an error instead of a propagated abort.
             Err(_) => return Err(MflowError::MergerPoisoned),
         };
+        let supervision = (
+            sup.restarts,
+            sup.heartbeat_misses,
+            sup.recovery_ns,
+            workers_respawned,
+            workers_abandoned,
+            sup.rates(start, dispatch_done, n as u64),
+        );
         Ok((
             merged,
             fault_drops,
             redispatched,
             workers_died,
             lane_depths,
+            supervision,
             (
                 shed_packets,
                 sheds,
@@ -1165,12 +1658,17 @@ pub fn process_parallel_faulty(
             ),
         ))
     });
-    let (merged, fault_drops, redispatched, workers_died, lane_depths, bp) = scope_out?;
+    let (merged, fault_drops, redispatched, workers_died, lane_depths, supervision, bp) =
+        scope_out?;
+    let (restarts, heartbeat_misses, recovery_ns, workers_respawned, workers_abandoned, recovery) =
+        supervision;
     let (shed_packets, sheds, inline_batches, inline_packets, block_fallbacks, backpressure_events) =
         bp;
     // A chain run survives total worker loss through the dispatcher's
-    // inline fallback; a fan-out run cannot deliver the remainder.
-    if chain_len == 0 && workers_died == n_threads && !frames.is_empty() {
+    // inline fallback, and so does a supervised run (orphaned batches go
+    // inline once the restart budget is gone); an unsupervised fan-out
+    // run cannot deliver the remainder.
+    if chain_len == 0 && !supervised && workers_died == n_threads && !frames.is_empty() {
         return Err(MflowError::NoLiveWorkers);
     }
 
@@ -1190,6 +1688,9 @@ pub fn process_parallel_faulty(
         redispatched,
         fault_drops,
         residue: mstats.residue,
+        restarts,
+        heartbeat_misses,
+        recovery_ns,
         lane_depths: lane_depths.iter().map(|&d| d as u64).collect(),
     };
     Ok(RunOutput {
@@ -1197,6 +1698,9 @@ pub fn process_parallel_faulty(
         elapsed: start.elapsed(),
         flushed_mfs,
         workers_died,
+        workers_respawned,
+        workers_abandoned,
+        recovery,
         sheds,
         inline_batches,
         block_fallbacks,
@@ -1404,6 +1908,7 @@ mod tests {
         faults.kill = Some(WorkerKill {
             worker: 1,
             after_batches: 3,
+            incarnation: 0,
         });
         faults.flush_timeout_ms = Some(50);
         for transport in TRANSPORTS {
@@ -1634,6 +2139,7 @@ mod tests {
                 faults.kill = Some(WorkerKill {
                     worker: dead_worker,
                     after_batches: 2,
+                    incarnation: 0,
                 });
                 faults.flush_timeout_ms = Some(50);
                 let out = process_parallel_faulty(

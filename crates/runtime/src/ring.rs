@@ -407,6 +407,77 @@ pub enum MuxRecvError {
     Disconnected,
 }
 
+/// Late-registration side-channel of a [`RingMux`]: consumers queued by
+/// [`MuxRegistrar::add_producer`] wait here until the mux absorbs them on
+/// its next receive pass.
+struct MuxPending<T> {
+    adds: Mutex<Vec<RingConsumer<T>>>,
+    /// Fast-path hint that `adds` is non-empty (the mux never takes the
+    /// lock on its hot path unless this is set).
+    flag: AtomicBool,
+    /// Live registrar handles. While any exist the mux cannot report
+    /// [`MuxRecvError::Disconnected`] — a new producer may yet appear.
+    registrars: AtomicUsize,
+    /// The mux's park waiter, shared so a registration can unpark it.
+    waiter: Arc<Waiter>,
+    /// Ring capacity for late-added producers (same as the original set).
+    cap: usize,
+}
+
+/// Handle for wiring new producers into a live [`RingMux`] — the
+/// supervisor uses one to give a respawned worker its own merger ring.
+///
+/// Registration explicitly wakes a parked mux, so a consumer blocked in
+/// [`RingMux::recv_deadline`] observes the re-wired producer promptly
+/// instead of at the park backstop. Dropping the last registrar (and all
+/// producers) lets the mux disconnect.
+pub struct MuxRegistrar<T> {
+    pending: Arc<MuxPending<T>>,
+}
+
+impl<T> MuxRegistrar<T> {
+    /// Creates a fresh SPSC ring feeding the mux and returns its producer
+    /// half. The mux absorbs the consumer half on its next receive pass.
+    pub fn add_producer(&self) -> RingProducer<T> {
+        let ring = shared(self.pending.cap, Arc::clone(&self.pending.waiter));
+        let tx = RingProducer {
+            ring: Arc::clone(&ring),
+            head_cache: 0,
+        };
+        self.pending
+            .adds
+            .lock()
+            .expect("mux registrar lock")
+            .push(RingConsumer {
+                ring,
+                tail_cache: 0,
+            });
+        self.pending.flag.store(true, Ordering::Release);
+        // The explicit unpark: without it a parked mux would only notice
+        // the new ring at its next park timeout.
+        self.pending.waiter.wake();
+        tx
+    }
+}
+
+impl<T> Clone for MuxRegistrar<T> {
+    fn clone(&self) -> Self {
+        self.pending.registrars.fetch_add(1, Ordering::SeqCst);
+        Self {
+            pending: Arc::clone(&self.pending),
+        }
+    }
+}
+
+impl<T> Drop for MuxRegistrar<T> {
+    fn drop(&mut self) {
+        self.pending.registrars.fetch_sub(1, Ordering::SeqCst);
+        // A mux parked waiting for "maybe another producer" can now
+        // re-evaluate disconnection.
+        self.pending.waiter.wake();
+    }
+}
+
 /// Fan-in over per-producer SPSC rings: the merge-side consumer. Drains
 /// rings round-robin in batches; parks on the single waiter every
 /// producer wakes.
@@ -415,6 +486,8 @@ pub struct RingMux<T> {
     next: usize,
     waiter: Arc<Waiter>,
     scratch: VecDeque<T>,
+    /// Late-registration channel; `None` for a fixed producer set.
+    pending: Option<Arc<MuxPending<T>>>,
 }
 
 /// How many items one refill drains from one ring.
@@ -462,9 +535,20 @@ impl<T> RingMux<T> {
         }
     }
 
+    /// Absorbs any consumers queued by a [`MuxRegistrar`] into the
+    /// round-robin set.
+    fn absorb_pending(&mut self) {
+        let Some(p) = &self.pending else { return };
+        if p.flag.swap(false, Ordering::AcqRel) {
+            let mut adds = p.adds.lock().expect("mux registrar lock");
+            self.rings.append(&mut adds);
+        }
+    }
+
     /// One round-robin sweep, draining up to [`MUX_BATCH`] per ring into
     /// the scratch queue. Returns how many items arrived.
     fn refill(&mut self) -> usize {
+        self.absorb_pending();
         let n = self.rings.len();
         if n == 0 {
             return 0;
@@ -480,8 +564,15 @@ impl<T> RingMux<T> {
 
     /// Whether every producer has closed with nothing left to pop. Closed
     /// flags are read before the emptiness probe, so a true result cannot
-    /// race with a final publish.
+    /// race with a final publish. While a registrar is alive (or a
+    /// registered ring has not been absorbed yet) the mux is never
+    /// drained — a respawned producer may still appear.
     fn all_drained(&mut self) -> bool {
+        if let Some(p) = &self.pending {
+            if p.registrars.load(Ordering::SeqCst) > 0 || p.flag.load(Ordering::Acquire) {
+                return false;
+            }
+        }
         self.scratch.is_empty()
             && self.rings.iter_mut().all(|r| {
                 let closed = r.producer_closed();
@@ -514,8 +605,28 @@ pub fn ring_mux<T>(producers: usize, cap: usize) -> (Vec<RingProducer<T>>, RingM
             next: 0,
             waiter,
             scratch: VecDeque::new(),
+            pending: None,
         },
     )
+}
+
+/// Like [`ring_mux`], plus a [`MuxRegistrar`] for wiring in new producers
+/// while the mux is live (worker respawn). The mux will not report
+/// [`MuxRecvError::Disconnected`] until the last registrar is dropped.
+pub fn ring_mux_with_registrar<T>(
+    producers: usize,
+    cap: usize,
+) -> (Vec<RingProducer<T>>, RingMux<T>, MuxRegistrar<T>) {
+    let (txs, mut mux) = ring_mux(producers, cap);
+    let pending = Arc::new(MuxPending {
+        adds: Mutex::new(Vec::new()),
+        flag: AtomicBool::new(false),
+        registrars: AtomicUsize::new(1),
+        waiter: Arc::clone(&mux.waiter),
+        cap,
+    });
+    mux.pending = Some(Arc::clone(&pending));
+    (txs, mux, MuxRegistrar { pending })
 }
 
 #[cfg(test)]
@@ -675,6 +786,37 @@ mod tests {
         for h in handles {
             h.join().expect("producer");
         }
+    }
+
+    #[test]
+    fn registrar_holds_off_disconnect_until_dropped() {
+        let (txs, mut mux, reg) = ring_mux_with_registrar::<u8>(1, 2);
+        drop(txs);
+        // The original producer is gone, but a registrar is alive: the
+        // mux must not disconnect, only time out.
+        let deadline = Some(Instant::now() + Duration::from_millis(5));
+        assert_eq!(mux.recv_deadline(deadline), Err(MuxRecvError::Timeout));
+        let mut tx = reg.add_producer();
+        tx.try_push(7).expect("space");
+        assert_eq!(mux.recv_deadline(None), Ok(7));
+        drop(tx);
+        drop(reg);
+        assert_eq!(mux.recv_deadline(None), Err(MuxRecvError::Disconnected));
+    }
+
+    #[test]
+    fn registrar_wakes_a_parked_mux_promptly() {
+        let (txs, mut mux, reg) = ring_mux_with_registrar::<u64>(1, 4);
+        drop(txs);
+        let consumer = thread::spawn(move || mux.recv_deadline(None));
+        // Let the consumer spin down into its parked state, then wire in
+        // a brand-new producer and publish through it.
+        thread::sleep(Duration::from_millis(20));
+        let mut tx = reg.add_producer();
+        tx.try_push(99).expect("space");
+        assert_eq!(consumer.join().expect("consumer"), Ok(99));
+        drop(tx);
+        drop(reg);
     }
 
     #[test]

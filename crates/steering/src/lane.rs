@@ -90,6 +90,22 @@ impl PolicyKind {
     pub fn reorders(self) -> bool {
         matches!(self, PolicyKind::Mflow)
     }
+
+    /// Number of worker thread slots the threaded runtime materialises
+    /// for this policy with `workers` configured: FALCON chains one
+    /// worker per stage group (capped by the worker count), every other
+    /// policy fans one worker out per lane. Supervision and chaos
+    /// tooling use this to build per-slot fault schedules (kills,
+    /// expected restarts) that cover the whole pool — including
+    /// respawned incarnations, which occupy the same slot indices.
+    pub fn worker_slots(self, workers: usize) -> usize {
+        let groups = self.stage_groups();
+        if groups >= 2 {
+            groups.min(workers)
+        } else {
+            workers
+        }
+    }
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -280,6 +296,16 @@ mod tests {
             assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(PolicyKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn worker_slots_counts_chain_stages_or_fanout_lanes() {
+        assert_eq!(PolicyKind::Mflow.worker_slots(4), 4);
+        assert_eq!(PolicyKind::Rps.worker_slots(7), 7);
+        assert_eq!(PolicyKind::FalconDev.worker_slots(4), 2);
+        assert_eq!(PolicyKind::FalconFunc.worker_slots(4), 3);
+        // A chain never has more stages than workers.
+        assert_eq!(PolicyKind::FalconFunc.worker_slots(2), 2);
     }
 
     #[test]

@@ -150,6 +150,7 @@ fn stress_matrix_survives_loss_dups_lates_stalls_and_a_killed_worker() {
             kill: Some(WorkerKill {
                 worker: 0,
                 after_batches: 4,
+                incarnation: 0,
             }),
             flush_timeout_ms: Some(40),
             ..RuntimeFaults::none()
@@ -184,6 +185,7 @@ fn killed_worker_is_reported_and_its_queue_redispatched() {
         faults.kill = Some(WorkerKill {
             worker: 1,
             after_batches: 3,
+            incarnation: 0,
         });
         faults.flush_timeout_ms = Some(40);
         let out = check_degraded(&frames, &cfg, &faults);
@@ -287,6 +289,7 @@ fn degradation_contract_holds_under_every_policy() {
                 kill: Some(WorkerKill {
                     worker: 0,
                     after_batches: 5,
+                    incarnation: 0,
                 }),
                 flush_timeout_ms: Some(40),
                 ..RuntimeFaults::none()

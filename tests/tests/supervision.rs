@@ -1,0 +1,402 @@
+//! Supervised self-healing: heartbeat-driven death detection, respawn
+//! with backoff, FALCON stage re-homing, graceful degradation to
+//! dispatcher-inline processing when the restart budget is exhausted,
+//! and the transport-invariance of the injected fault schedule.
+//!
+//! The healing contract under test: a supervised run survives every
+//! scheduled worker death without wedging, the output stays a strictly
+//! ordered duplicate-free subsequence of the serial output, every
+//! missing packet is attributable, and the supervisor's accounting
+//! (restarts, respawned vs abandoned) matches what actually happened.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use mflow_runtime::{
+    generate_frames, process_parallel_faulty, process_serial, FaultLog, Frame, PolicyKind,
+    RuntimeConfig, RuntimeFaults, Transport, WorkerKill,
+};
+use proptest::prelude::*;
+
+const TRANSPORTS: [Transport; 2] = [Transport::Mpsc, Transport::Ring];
+
+/// A supervised baseline: heartbeats on, respawns allowed, short
+/// backoff so recovery happens well inside a test-sized run.
+fn supervised_cfg(policy: PolicyKind, transport: Transport) -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 4,
+        batch_size: 16,
+        queue_depth: 4,
+        policy,
+        transport,
+        heartbeat_interval_ms: Some(25),
+        restart_budget: 16,
+        restart_backoff_ms: 1,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Replays the dispatcher's batching walk to predict which packets the
+/// fault plan deletes at dispatch and which micro-flow every surviving
+/// packet is tagged into (mirrors `tests/runtime_faults.rs`).
+fn replay_dispatch(
+    n: usize,
+    batch_size: usize,
+    faults: &RuntimeFaults,
+) -> (BTreeSet<u64>, BTreeMap<u64, u64>) {
+    let mut dropped = BTreeSet::new();
+    let mut mf_of = BTreeMap::new();
+    let mut mf_id = 0u64;
+    let mut len = 0usize;
+    for i in 0..n {
+        let seq = i as u64;
+        let last = len + 1 == batch_size || i + 1 == n;
+        if faults.drops_packet(mf_id, seq, last) {
+            dropped.insert(seq);
+        } else {
+            len += 1;
+            mf_of.insert(seq, mf_id);
+        }
+        if last {
+            mf_id += 1;
+            len = 0;
+        }
+    }
+    (dropped, mf_of)
+}
+
+/// Runs the supervised pipeline and checks the full degradation
+/// contract against the serial reference, plus supervisor bookkeeping:
+/// every death is classified as either respawned or abandoned, and the
+/// restart counter equals the respawn count.
+fn check_supervised(
+    frames: &[Frame],
+    cfg: &RuntimeConfig,
+    faults: &RuntimeFaults,
+) -> mflow_runtime::RunOutput {
+    let serial = process_serial(frames);
+    let reference: BTreeMap<u64, u64> = serial.digests.iter().map(|r| (r.seq, r.digest)).collect();
+    let (dropped, mf_of) = replay_dispatch(frames.len(), cfg.batch_size, faults);
+
+    let out = process_parallel_faulty(frames, cfg, faults).unwrap();
+
+    for pair in out.digests.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "inversion or duplicate at seq {} -> {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+    for r in &out.digests {
+        assert_eq!(
+            reference.get(&r.seq),
+            Some(&r.digest),
+            "digest mismatch at seq {}",
+            r.seq
+        );
+    }
+    assert_eq!(out.telemetry.residue, 0, "items left parked in the merger");
+
+    let present: BTreeSet<u64> = out.digests.iter().map(|r| r.seq).collect();
+    let flushed: BTreeSet<u64> = out.flushed_mfs.iter().copied().collect();
+    let mut unattributed = BTreeSet::new();
+    for seq in 0..frames.len() as u64 {
+        if present.contains(&seq) || dropped.contains(&seq) {
+            continue;
+        }
+        let mf = *mf_of.get(&seq).expect("surviving packet must have a tag");
+        if !flushed.contains(&mf) {
+            unattributed.insert(mf);
+        }
+    }
+    let window = (cfg.queue_depth + 2) * out.workers_died;
+    assert!(
+        unattributed.len() <= window,
+        "{} micro-flows lost without attribution ({}-batch death window): {:?}",
+        unattributed.len(),
+        window,
+        unattributed
+    );
+    assert!(
+        out.telemetry.lane_depths.iter().all(|&d| d == 0),
+        "stale end-of-run lane depths {:?} ({:?})",
+        out.telemetry.lane_depths,
+        cfg.transport
+    );
+
+    // Supervisor bookkeeping: every death has exactly one disposition,
+    // and `restarts` counts the respawns.
+    assert_eq!(
+        out.workers_respawned + out.workers_abandoned,
+        out.workers_died,
+        "every death must be classified respawned or abandoned"
+    );
+    assert_eq!(
+        out.telemetry.restarts, out.workers_respawned as u64,
+        "restart counter must equal the respawn count"
+    );
+    out
+}
+
+#[test]
+fn killed_fanout_worker_is_respawned_and_the_run_stays_whole() {
+    let frames = generate_frames(2_000, 64);
+    for transport in TRANSPORTS {
+        let cfg = supervised_cfg(PolicyKind::Mflow, transport);
+        let mut faults = RuntimeFaults::none();
+        faults.kills.push(WorkerKill {
+            worker: 0,
+            after_batches: 3,
+            incarnation: 0,
+        });
+        faults.flush_timeout_ms = Some(40);
+        let out = check_supervised(&frames, &cfg, &faults);
+        assert_eq!(out.workers_died, 1, "{transport:?}: exactly one scheduled death");
+        assert_eq!(
+            out.workers_respawned, 1,
+            "{transport:?}: the supervisor must heal the slot"
+        );
+        assert!(
+            !out.digests.is_empty(),
+            "{transport:?}: run delivered nothing"
+        );
+    }
+}
+
+#[test]
+fn falcon_chain_rehomes_a_killed_interior_stage() {
+    // FALCON pipelines every batch through each stage, so an interior
+    // stage death severs the chain; the supervisor must splice in a
+    // replacement worker and re-link the stage, not just observe it.
+    let frames = generate_frames(2_000, 64);
+    for policy in [PolicyKind::FalconDev, PolicyKind::FalconFunc] {
+        for transport in TRANSPORTS {
+            let cfg = supervised_cfg(policy, transport);
+            let mut faults = RuntimeFaults::none();
+            faults.kills.push(WorkerKill {
+                worker: 1, // interior stage for both chain shapes
+                after_batches: 2,
+                incarnation: 0,
+            });
+            faults.flush_timeout_ms = Some(40);
+            let out = check_supervised(&frames, &cfg, &faults);
+            assert_eq!(
+                out.workers_died, 1,
+                "{policy}/{transport:?}: exactly one scheduled death"
+            );
+            assert_eq!(
+                out.workers_respawned, 1,
+                "{policy}/{transport:?}: the chain stage must be re-homed"
+            );
+            assert!(
+                !out.digests.is_empty(),
+                "{policy}/{transport:?}: run delivered nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn respawned_incarnation_can_be_killed_again() {
+    // A chaos schedule targeting incarnation 1 kills the *replacement*:
+    // the supervisor must heal the slot twice, with the second respawn
+    // backed off but still inside the budget.
+    let frames = generate_frames(3_000, 64);
+    for transport in TRANSPORTS {
+        let cfg = supervised_cfg(PolicyKind::Mflow, transport);
+        let mut faults = RuntimeFaults::none();
+        for incarnation in [0, 1] {
+            faults.kills.push(WorkerKill {
+                worker: 0,
+                after_batches: 2,
+                incarnation,
+            });
+        }
+        faults.flush_timeout_ms = Some(40);
+        let out = check_supervised(&frames, &cfg, &faults);
+        assert_eq!(out.workers_died, 2, "{transport:?}: both incarnations die");
+        assert!(
+            out.workers_respawned >= 1,
+            "{transport:?}: at least the first death must be healed"
+        );
+    }
+}
+
+#[test]
+fn exhausted_budget_degrades_to_dispatcher_inline() {
+    // Supervision on (heartbeats run) but the restart budget is zero:
+    // when every worker dies the run must not abort with NoLiveWorkers —
+    // the degradation ladder ends at dispatcher-inline processing, and
+    // every death is accounted as abandoned.
+    let frames = generate_frames(1_500, 64);
+    for transport in TRANSPORTS {
+        let cfg = RuntimeConfig {
+            workers: 2,
+            batch_size: 16,
+            queue_depth: 2,
+            policy: PolicyKind::Mflow,
+            transport,
+            heartbeat_interval_ms: Some(25),
+            restart_budget: 0,
+            restart_backoff_ms: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut faults = RuntimeFaults::none();
+        for worker in 0..cfg.workers {
+            faults.kills.push(WorkerKill {
+                worker,
+                after_batches: 2,
+                incarnation: 0,
+            });
+        }
+        faults.flush_timeout_ms = Some(40);
+        let out = check_supervised(&frames, &cfg, &faults);
+        assert_eq!(out.workers_died, 2, "{transport:?}: both workers die");
+        assert_eq!(out.workers_respawned, 0, "{transport:?}: no budget, no respawn");
+        assert_eq!(out.workers_abandoned, 2, "{transport:?}: both abandoned");
+        assert!(
+            !out.digests.is_empty(),
+            "{transport:?}: inline degradation must still deliver"
+        );
+        // The tail of the stream has no workers left; it can only have
+        // arrived via the dispatcher's inline path.
+        assert!(
+            out.telemetry.inline > 0,
+            "{transport:?}: tail frames must be processed inline"
+        );
+    }
+}
+
+#[test]
+fn post_respawn_batches_merge_promptly_on_the_ring() {
+    // A parked ring merger must observe a respawned producer without
+    // waiting out its flush deadline. Single worker, per-batch stalls
+    // pacing dispatch so the respawn happens mid-stream, and a flush
+    // deadline far above the run's natural length: if the merger missed
+    // the re-wired producer's wakeup it would sleep out the 2 s deadline
+    // at least once, which the elapsed-time bound catches.
+    let frames = generate_frames(800, 64);
+    let cfg = RuntimeConfig {
+        workers: 1,
+        batch_size: 16,
+        queue_depth: 2,
+        policy: PolicyKind::Mflow,
+        transport: Transport::Ring,
+        heartbeat_interval_ms: Some(25),
+        restart_budget: 16,
+        restart_backoff_ms: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut faults = RuntimeFaults::none();
+    faults.kills.push(WorkerKill {
+        worker: 0,
+        after_batches: 2,
+        incarnation: 0,
+    });
+    faults.stall_rate = 1.0; // every batch sleeps, pacing the dispatcher
+    faults.stall_ms = 3;
+    faults.flush_timeout_ms = Some(2_000);
+    let out = check_supervised(&frames, &cfg, &faults);
+    assert!(
+        out.workers_respawned >= 1,
+        "the paced run must respawn mid-stream"
+    );
+    assert!(
+        out.elapsed < Duration::from_millis(1_500),
+        "post-respawn batches took {:?} — the merger slept out its flush \
+         deadline instead of waking on the re-wired producer",
+        out.elapsed
+    );
+}
+
+#[test]
+fn fault_schedule_is_transport_invariant() {
+    // Same seed, same schedule: the canonically sorted fault-event log
+    // must be identical under Mpsc and Ring. Dispatch-time decisions
+    // (drops, dups, lates) are checked under MFLOW steering; worker-side
+    // stalls under RPS, whose single-flow pin makes the stalling worker
+    // schedule-determined too.
+    let frames = generate_frames(1_200, 64);
+    let cases = [
+        // (policy, drop, drop_last, dup, late, stall)
+        (PolicyKind::Mflow, 0.05, 0.05, 0.1, 0.1, 0.0),
+        (PolicyKind::Rps, 0.0, 0.0, 0.0, 0.0, 0.3),
+    ];
+    for (policy, drop_rate, drop_last_rate, dup_mf_rate, late_mf_rate, stall_rate) in cases {
+        let mut logs = Vec::new();
+        for transport in TRANSPORTS {
+            let cfg = supervised_cfg(policy, transport);
+            let log = FaultLog::new();
+            let faults = RuntimeFaults {
+                seed: 0xC0FFEE,
+                drop_rate,
+                drop_last_rate,
+                dup_mf_rate,
+                late_mf_rate,
+                late_by: 2,
+                stall_rate,
+                stall_ms: 1,
+                flush_timeout_ms: Some(40),
+                log: Some(log.clone()),
+                ..RuntimeFaults::none()
+            };
+            process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            logs.push(log.sorted());
+        }
+        assert!(
+            !logs[0].is_empty(),
+            "{policy}: the schedule must fire something for the comparison to mean anything"
+        );
+        assert_eq!(
+            logs[0], logs[1],
+            "{policy}: same seed produced different fault schedules across transports"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation and per-lane FIFO survive arbitrary restart
+    /// schedules: any mix of kills across slots and incarnations, under
+    /// any policy, transport and restart budget (including zero — the
+    /// budget-exhausted inline-degradation path).
+    #[test]
+    fn conservation_holds_under_random_restart_schedules(
+        seed in any::<u64>(),
+        policy_ix in 0usize..PolicyKind::ALL.len(),
+        transport_ix in 0usize..2,
+        workers in 2usize..=4,
+        batch_size in 8usize..=24,
+        budget_ix in 0usize..4,
+        kill_points in prop::collection::vec((0usize..4, 2u64..8, 0u64..2), 1..5),
+    ) {
+        let policy = PolicyKind::ALL[policy_ix];
+        let transport = TRANSPORTS[transport_ix];
+        let budget = [0u32, 1, 2, 16][budget_ix];
+        let cfg = RuntimeConfig {
+            workers,
+            batch_size,
+            queue_depth: 4,
+            policy,
+            transport,
+            heartbeat_interval_ms: Some(25),
+            restart_budget: budget,
+            restart_backoff_ms: 1,
+            ..RuntimeConfig::default()
+        };
+        let slots = policy.worker_slots(workers);
+        let mut faults = RuntimeFaults::none();
+        for (slot, after_batches, incarnation) in kill_points {
+            faults.kills.push(WorkerKill {
+                worker: slot % slots,
+                after_batches,
+                incarnation,
+            });
+        }
+        faults.flush_timeout_ms = Some(40);
+        let frames = generate_frames(600, 64);
+        check_supervised(&frames, &cfg, &faults);
+    }
+}
