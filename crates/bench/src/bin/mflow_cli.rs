@@ -16,8 +16,8 @@ use mflow_netstack::{
 };
 use mflow_runtime::{
     generate_frames, process_parallel, process_parallel_faulty, process_serial,
-    BackpressurePolicy, Frame, LaneStall, PolicyKind, RuntimeConfig, RuntimeFaults, SlowWorker,
-    Transport as RtTransport, WorkerKill,
+    process_serial_stateful, BackpressurePolicy, Frame, LaneStall, PolicyKind, RuntimeConfig,
+    RuntimeFaults, SlowWorker, StatefulMode, Transport as RtTransport, WorkerKill,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -56,6 +56,9 @@ struct Args {
     restart_budget: u32,
     heartbeat_interval_ms: Option<u64>,
     restart_backoff_ms: u64,
+    // Stateful-stage placement (both engines).
+    stateful_mode: StatefulMode,
+    stateful_work: u32,
     // Chaos-soak mode.
     chaos_soak: bool,
     chaos_seed: u64,
@@ -66,6 +69,8 @@ struct Args {
     bench_transport: bool,
     // Policy-comparison bench mode.
     bench_policy: bool,
+    // Stateful-mode bench (merge-before-tcp vs state-compute replication).
+    bench_stateful: bool,
     bench_out: String,
     bench_enforce: bool,
 }
@@ -87,10 +92,11 @@ fn usage() -> ! {
          \x20                [--flush-timeout-ms MS] [--rt-transport mpsc|ring]\n\
          \x20                [--merger-depth RESULTS] [--restart-budget N]\n\
          \x20                [--heartbeat-interval-ms MS] [--restart-backoff-ms MS]\n\
+         \x20                [--stateful-mode merge-before-tcp|scr] [--stateful-work ROUNDS]\n\
          \x20  chaos mode:   --chaos-soak [--chaos-seed N] [--chaos-frames N]\n\
          \x20                [--chaos-policies p1,p2,..] [--chaos-transports mpsc,ring]\n\
-         \x20  bench mode:   --bench-transport [--frames N] [--bench-out PATH]\n\
-         \x20                [--bench-enforce]"
+         \x20  bench mode:   --bench-transport | --bench-policy | --bench-stateful\n\
+         \x20                [--frames N] [--bench-out PATH] [--bench-enforce]"
     );
     std::process::exit(2);
 }
@@ -126,6 +132,8 @@ fn parse_args() -> Args {
         restart_budget: 0,
         heartbeat_interval_ms: None,
         restart_backoff_ms: RuntimeConfig::default().restart_backoff_ms,
+        stateful_mode: StatefulMode::MergeBeforeTcp,
+        stateful_work: 0,
         chaos_soak: false,
         chaos_seed: 42,
         chaos_frames: 4_000,
@@ -133,6 +141,7 @@ fn parse_args() -> Args {
         chaos_transports: vec![RtTransport::Mpsc, RtTransport::Ring],
         bench_transport: false,
         bench_policy: false,
+        bench_stateful: false,
         bench_out: String::new(),
         bench_enforce: false,
     };
@@ -284,6 +293,16 @@ fn parse_args() -> Args {
             "--restart-backoff-ms" => {
                 args.restart_backoff_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--stateful-mode" => {
+                let v = value(&mut i);
+                args.stateful_mode = StatefulMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown stateful mode '{v}'");
+                    usage()
+                })
+            }
+            "--stateful-work" => {
+                args.stateful_work = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--chaos-soak" => args.chaos_soak = true,
             "--chaos-seed" => {
                 args.chaos_seed = value(&mut i).parse().unwrap_or_else(|_| usage())
@@ -317,6 +336,7 @@ fn parse_args() -> Args {
             }
             "--bench-transport" => args.bench_transport = true,
             "--bench-policy" => args.bench_policy = true,
+            "--bench-stateful" => args.bench_stateful = true,
             "--bench-out" => args.bench_out = value(&mut i),
             "--bench-enforce" => args.bench_enforce = true,
             "--help" | "-h" => usage(),
@@ -352,6 +372,8 @@ fn run_runtime(a: &Args) {
         heartbeat_interval_ms: a.heartbeat_interval_ms,
         restart_budget: a.restart_budget,
         restart_backoff_ms: a.restart_backoff_ms,
+        stateful_mode: a.stateful_mode,
+        stateful_work: a.stateful_work,
     };
     let frames = generate_frames(a.frames, 1400);
     let out = match process_parallel_faulty(&frames, &cfg, &a.rt_faults) {
@@ -979,6 +1001,193 @@ fn run_bench_policy(a: &Args) {
     }
 }
 
+/// One measured point of the stateful-mode sweep.
+struct StatefulPoint {
+    work: u32,
+    mode: StatefulMode,
+    transport: RtTransport,
+    best_ns: u128,
+    mean_ns: u128,
+    /// Merger-thread busy time of the best run: the serial stage's cost.
+    serial_ns: u64,
+    mpps: f64,
+    replicated: u64,
+}
+
+/// `--bench-stateful`: race the two stateful-stage placements over the
+/// elephant workload at the reference point {4 workers, batch 32,
+/// policy mflow} — the configuration where the merge counter is engaged
+/// and merge-before-tcp therefore serializes the stateful stage on the
+/// merger thread — sweeping the per-packet stateful cost. Every
+/// measured run is also checked byte-identical to the in-order serial
+/// reference, so the sweep doubles as a differential test. Writes
+/// `BENCH_stateful.json`.
+///
+/// With `--bench-enforce` the process exits nonzero unless
+/// state-compute replication beats merge-before-tcp at the heaviest
+/// stateful point on every transport. The gated quantity is the
+/// *serial-stage time* — the merger thread's busy time
+/// ([`RunOutput::stateful_serial_ns`]) — because that is the cost the
+/// paper's design moves off the critical serial stage, and it reads the
+/// same whether the host gives the worker threads four real cores or
+/// time-slices them onto one (wall-clock on a single-core runner cannot
+/// distinguish the placements; both points are recorded regardless).
+fn run_bench_stateful(a: &Args) {
+    const PAYLOAD: usize = 256;
+    const WORKS: [u32; 3] = [0, 64, 512];
+    const MODES: [StatefulMode; 2] = StatefulMode::ALL;
+    const TRANSPORTS: [RtTransport; 2] = [RtTransport::Mpsc, RtTransport::Ring];
+    const ITERS: usize = 5;
+
+    let n_frames = a.frames;
+    let frames = generate_frames(n_frames, PAYLOAD);
+    let mut points: Vec<StatefulPoint> = Vec::new();
+    for work in WORKS {
+        let reference = process_serial_stateful(&frames, work);
+        for transport in TRANSPORTS {
+            for mode in MODES {
+                let cfg = RuntimeConfig {
+                    workers: 4,
+                    batch_size: 32,
+                    queue_depth: 8,
+                    transport,
+                    policy: PolicyKind::Mflow,
+                    stateful_mode: mode,
+                    stateful_work: work,
+                    ..RuntimeConfig::default()
+                };
+                // One warmup run doubles as the differential check: both
+                // placements must deliver the serial stream exactly.
+                let out = process_parallel(&frames, &cfg).expect("bench config must be valid");
+                assert_eq!(
+                    reference.digests, out.digests,
+                    "stateful mode {mode:?} diverged from the serial reference"
+                );
+                let mut best_ns = u128::MAX;
+                let mut total_ns = 0u128;
+                let mut replicated = 0u64;
+                let mut serial_ns = 0u64;
+                for _ in 0..ITERS {
+                    let out = process_parallel(&frames, &cfg).expect("bench config must be valid");
+                    let ns = out.elapsed.as_nanos();
+                    if ns < best_ns {
+                        best_ns = ns;
+                        replicated = out.telemetry.replicated_transitions;
+                        serial_ns = out.stateful_serial_ns;
+                    }
+                    total_ns += ns;
+                }
+                let secs = best_ns as f64 / 1e9;
+                let point = StatefulPoint {
+                    work,
+                    mode,
+                    transport,
+                    best_ns,
+                    mean_ns: total_ns / ITERS as u128,
+                    serial_ns,
+                    mpps: n_frames as f64 / secs / 1e6,
+                    replicated,
+                };
+                println!(
+                    "bench: work={:<4} {:<16} {:<5} best {:>10} ns  mean {:>10} ns  serial {:>10} ns  {:.2} Mpps",
+                    point.work,
+                    point.mode.name(),
+                    rt_transport_name(point.transport),
+                    point.best_ns,
+                    point.mean_ns,
+                    point.serial_ns,
+                    point.mpps,
+                );
+                points.push(point);
+            }
+        }
+    }
+
+    // The gate: at the heaviest stateful point, replicating the state
+    // computation across the lanes must beat serializing it after the
+    // merge, on every transport.
+    let heavy = *WORKS.last().expect("non-empty sweep");
+    let serial_of = |mode: StatefulMode, transport: RtTransport| {
+        points
+            .iter()
+            .find(|p| p.work == heavy && p.mode == mode && p.transport == transport)
+            .map(|p| p.serial_ns)
+            .expect("sweep covers the gate point")
+    };
+    let mut pass = true;
+    let mut gate_ratios: Vec<(RtTransport, u64, u64, f64)> = Vec::new();
+    for transport in TRANSPORTS {
+        let mbt_ns = serial_of(StatefulMode::MergeBeforeTcp, transport);
+        let scr_ns = serial_of(StatefulMode::StateComputeReplication, transport);
+        let ratio = scr_ns as f64 / mbt_ns as f64;
+        let ok = ratio < 1.0;
+        pass &= ok;
+        println!(
+            "gate @ w=4 b=32 work={heavy} {}: scr/mbt serial-stage time ratio {:.3} ({})",
+            rt_transport_name(transport),
+            ratio,
+            if ok { "pass" } else { "FAIL" }
+        );
+        gate_ratios.push((transport, mbt_ns, scr_ns, ratio));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"stateful_modes\",\n");
+    json.push_str(&format!("  \"frames\": {n_frames},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {PAYLOAD},\n"));
+    json.push_str(&format!("  \"iters_per_point\": {ITERS},\n"));
+    json.push_str("  \"workers\": 4,\n  \"batch\": 32,\n  \"policy\": \"mflow\",\n");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"stateful_work\": {}, \"mode\": \"{}\", \"transport\": \"{}\", \"best_ns\": {}, \"mean_ns\": {}, \"serial_stage_ns\": {}, \"mpps\": {:.4}, \"replicated_transitions\": {}}}{}\n",
+            p.work,
+            p.mode.name(),
+            rt_transport_name(p.transport),
+            p.best_ns,
+            p.mean_ns,
+            p.serial_ns,
+            p.mpps,
+            p.replicated,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"gate\": {{\"stateful_work\": {heavy}, \"claim\": \"scr relieves the serial merge stage once stateful work dominates\", \"metric\": \"merger-thread busy time (serial-stage cost, host-core-count independent)\", \"transports\": [\n"
+    ));
+    for (i, (t, mbt_ns, scr_ns, ratio)) in gate_ratios.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"mbt_serial_ns\": {}, \"scr_serial_ns\": {}, \"scr_over_mbt_serial_time\": {:.4}}}{}\n",
+            rt_transport_name(*t),
+            mbt_ns,
+            scr_ns,
+            ratio,
+            if i + 1 == gate_ratios.len() { "" } else { "," },
+        ));
+    }
+    json.push_str(&format!("  ], \"threshold\": 1.0, \"pass\": {pass}}}\n"));
+    json.push_str("}\n");
+    let out_path = if a.bench_out.is_empty() {
+        "BENCH_stateful.json"
+    } else {
+        &a.bench_out
+    };
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if a.bench_enforce && !pass {
+        eprintln!(
+            "bench gate failed: state-compute replication did not relieve the serial \
+             merge stage vs merge-before-tcp at stateful work {heavy}"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let a = parse_args();
     if a.chaos_soak {
@@ -991,6 +1200,10 @@ fn main() {
     }
     if a.bench_policy {
         run_bench_policy(&a);
+        return;
+    }
+    if a.bench_stateful {
+        run_bench_stateful(&a);
         return;
     }
     if a.runtime {
@@ -1026,6 +1239,7 @@ fn main() {
             Transport::Udp => MflowConfig::udp_device_scaling(),
         };
         mcfg.batch_size = a.batch;
+        mcfg.stateful_mode = a.stateful_mode;
         if a.flush_after.is_some() {
             mcfg.flush_after_offers = a.flush_after;
         }

@@ -1,7 +1,7 @@
 //! MFLOW configuration: batch size, splitting cores and scaling mode.
 
 use mflow_error::MflowError;
-use mflow_netstack::Stage;
+use mflow_netstack::{Stage, StatefulMode};
 use mflow_sim::CoreId;
 
 use crate::elephant::ElephantConfig;
@@ -60,6 +60,10 @@ pub struct MflowConfig {
     /// unconditionally (the flow is the experiment); multi-flow setups
     /// identify elephants by rate with hysteresis.
     pub elephant: ElephantConfig,
+    /// How the stateful TCP stage runs relative to the merge point:
+    /// merge-before-tcp (the paper's design) or state-compute replication
+    /// on every lane with a downstream reconciler.
+    pub stateful_mode: StatefulMode,
 }
 
 impl MflowConfig {
@@ -80,6 +84,7 @@ impl MflowConfig {
             merge_cost_per_batch_ns: 150,
             flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
+            stateful_mode: StatefulMode::MergeBeforeTcp,
         }
     }
 
@@ -102,6 +107,7 @@ impl MflowConfig {
             merge_cost_per_batch_ns: 150,
             flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
+            stateful_mode: StatefulMode::MergeBeforeTcp,
         }
     }
 
@@ -138,6 +144,7 @@ impl MflowConfig {
             merge_cost_per_batch_ns: 150,
             flush_after_offers: Some(4096),
             elephant: ElephantConfig::always(),
+            stateful_mode: StatefulMode::MergeBeforeTcp,
         };
         cfg.validate()?;
         Ok(cfg)

@@ -40,7 +40,8 @@ pub use config::{MflowConfig, ScalingMode};
 pub use elephant::{ElephantConfig, ElephantDetector};
 pub use lanes::MflowLanes;
 pub use mflow_error::MflowError;
-pub use reassembly::{BatchMerger, MergeCounter, MergeStats, MfTag, Offer};
+pub use mflow_netstack::StatefulMode;
+pub use reassembly::{BatchMerger, MergeCounter, MergeStats, MfTag, Offer, ScrReconciler};
 pub use splitter::MflowSteering;
 
 use mflow_netstack::{MergeSetup, PacketSteering};
@@ -56,6 +57,7 @@ pub fn install(cfg: MflowConfig) -> (Box<dyn PacketSteering>, MergeSetup) {
 /// rejecting one that violates [`MflowConfig::validate`].
 pub fn try_install(cfg: MflowConfig) -> Result<(Box<dyn PacketSteering>, MergeSetup), MflowError> {
     let merge_before = cfg.merge_before();
+    let stateful = cfg.stateful_mode;
     let steering = MflowSteering::try_new(cfg.clone())?;
     Ok((
         Box::new(steering),
@@ -65,6 +67,7 @@ pub fn try_install(cfg: MflowConfig) -> Result<(Box<dyn PacketSteering>, MergeSe
                 BatchMerger::new(cfg.merge_cost_per_batch_ns)
                     .with_flush_deadline(cfg.flush_after_offers),
             ),
+            stateful,
         },
     ))
 }

@@ -359,6 +359,201 @@ impl<T> MergeCounter<T> {
     }
 }
 
+/// The state-compute-replication reconciler: a per-flow *seq watermark*
+/// instead of a merging counter.
+///
+/// Under SCR the lanes have already advanced replicated flow state and
+/// emitted idempotent delivery records, so the downstream job is no
+/// longer restoring wire order batch-by-batch — it is emitting each
+/// in-order range **exactly once** and discarding replicated duplicates.
+/// The reconciler keeps one monotonic watermark (next byte/seq expected)
+/// plus a parked map of early records, mirroring the strict
+/// `FlowState::receive` semantics so its delivery stream is identical to
+/// merge-before-tcp's:
+///
+/// * a record starting at the watermark is emitted and the watermark
+///   advances over it and any contiguous parked successors;
+/// * a record wholly behind the watermark is a replicated duplicate
+///   (or a straggler of a flushed gap — classified [`Offer::Late`]);
+/// * a record straddling the watermark is a stale overlap and is
+///   dropped, exactly as the strict machine drops it during drain;
+/// * a record ahead of the watermark parks once; further copies are
+///   duplicates.
+///
+/// Fault recovery reuses the flush idea: [`ScrReconciler::flush_one`]
+/// force-advances the watermark to the first parked record, recording
+/// the skipped range so later stragglers are told apart from duplicates.
+#[derive(Clone, Debug)]
+pub struct ScrReconciler<T> {
+    watermark: u64,
+    /// start → (end, record) for records ahead of the watermark.
+    parked: BTreeMap<u64, (u64, T)>,
+    emitted: u64,
+    flushes: u64,
+    late_drops: u64,
+    dup_drops: u64,
+    /// Coalesced `[start, end)` ranges the watermark was flushed over.
+    skipped: BTreeMap<u64, u64>,
+}
+
+impl<T> Default for ScrReconciler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ScrReconciler<T> {
+    /// A reconciler whose watermark starts at 0.
+    pub fn new() -> Self {
+        Self {
+            watermark: 0,
+            parked: BTreeMap::new(),
+            emitted: 0,
+            flushes: 0,
+            late_drops: 0,
+            dup_drops: 0,
+            skipped: BTreeMap::new(),
+        }
+    }
+
+    /// Next expected position (byte offset or packet seq).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Records parked ahead of the watermark.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Records emitted in order.
+    pub fn released(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Watermark force-advances performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Stragglers of flushed gaps, rejected after the fact.
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
+    }
+
+    /// Replicated duplicates discarded.
+    pub fn dup_drops(&self) -> u64 {
+        self.dup_drops
+    }
+
+    /// The `[start, end)` ranges the watermark was flushed over, in order.
+    pub fn skipped_ranges(&self) -> Vec<(u64, u64)> {
+        self.skipped.iter().map(|(&s, &e)| (s, e)).collect()
+    }
+
+    /// Outcome tally in the shared merge-point block: `released` counts
+    /// emitted records, `flushed` counts watermark force-advances.
+    pub fn stats(&self) -> MergeStats {
+        MergeStats {
+            released: self.emitted,
+            flushed: self.flushes,
+            late_drops: self.late_drops,
+            dup_drops: self.dup_drops,
+            residue: self.parked.len() as u64,
+        }
+    }
+
+    fn in_skipped(&self, pos: u64) -> bool {
+        self.skipped
+            .range(..=pos)
+            .next_back()
+            .is_some_and(|(_, &end)| end > pos)
+    }
+
+    /// Offers one delivery record covering `[start, end)`; appends any
+    /// now-in-order records to `out` and reports the record's fate.
+    pub fn offer(&mut self, start: u64, end: u64, item: T, out: &mut Vec<T>) -> Offer {
+        if end <= start || end <= self.watermark {
+            // Wholly behind (or empty): a replicated duplicate, unless the
+            // watermark only passed it by flushing over the gap.
+            if self.in_skipped(start) {
+                self.late_drops += 1;
+                return Offer::Late;
+            }
+            self.dup_drops += 1;
+            return Offer::Duplicate;
+        }
+        if start < self.watermark {
+            // Straddles the watermark: stale overlap; the strict machine
+            // drops these during drain, so equivalence demands we do too.
+            self.dup_drops += 1;
+            return Offer::Duplicate;
+        }
+        if start == self.watermark {
+            self.watermark = end;
+            self.emitted += 1;
+            out.push(item);
+            self.drain(out);
+            return Offer::Accepted;
+        }
+        if self.parked.contains_key(&start) {
+            self.dup_drops += 1;
+            return Offer::Duplicate;
+        }
+        self.parked.insert(start, (end, item));
+        Offer::Accepted
+    }
+
+    /// Emits parked records made contiguous by a watermark advance,
+    /// discarding stale overlaps along the way.
+    fn drain(&mut self, out: &mut Vec<T>) {
+        while let Some(entry) = self.parked.first_entry() {
+            let k = *entry.key();
+            if k == self.watermark {
+                let (end, item) = entry.remove();
+                self.watermark = end;
+                self.emitted += 1;
+                out.push(item);
+            } else if k < self.watermark {
+                entry.remove();
+                self.dup_drops += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Force-advances the watermark to the first parked record, releasing
+    /// it (and contiguous successors) and recording the skipped range.
+    /// Returns `false` when nothing is parked.
+    pub fn flush_one(&mut self, out: &mut Vec<T>) -> bool {
+        let Some(&next) = self.parked.keys().next() else {
+            return false;
+        };
+        // Coalesce with a preceding skipped range ending at the watermark.
+        match self.skipped.range_mut(..self.watermark).next_back() {
+            Some((_, end)) if *end == self.watermark => *end = next,
+            _ => {
+                self.skipped.insert(self.watermark, next);
+            }
+        }
+        self.watermark = next;
+        self.flushes += 1;
+        self.drain(out);
+        true
+    }
+
+    /// Flushes until nothing is parked (end-of-stream recovery). Returns
+    /// the number of force-advances performed.
+    pub fn flush_stalled(&mut self, out: &mut Vec<T>) -> u64 {
+        let mut n = 0;
+        while self.flush_one(out) {
+            n += 1;
+        }
+        n
+    }
+}
+
 /// [`FlowMerger`] adapter: one [`MergeCounter`] per flow; skbs without a
 /// micro-flow tag (flows that were never split) pass straight through.
 pub struct BatchMerger {
@@ -729,6 +924,119 @@ mod tests {
         assert_eq!(m.buffered(), 0);
         // Idempotent once drained.
         assert_eq!(m.flush_stalled(&mut out), 0);
+    }
+
+    #[test]
+    fn scr_reconciler_emits_each_range_exactly_once_in_order() {
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        // Records arrive lane-interleaved: 0,2,1,4,3 (unit seq ranges).
+        for seq in [0u64, 2, 1, 4, 3] {
+            assert_eq!(r.offer(seq, seq + 1, seq, &mut out), Offer::Accepted);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.watermark(), 5);
+        assert_eq!(r.parked_len(), 0);
+        assert_eq!(r.stats().released, 5);
+    }
+
+    #[test]
+    fn scr_reconciler_discards_replicated_duplicates() {
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        r.offer(0, 1, 'a', &mut out);
+        // Behind the watermark: a replicated transition already emitted.
+        assert_eq!(r.offer(0, 1, 'a', &mut out), Offer::Duplicate);
+        // Parked copy: second sighting of the same early record.
+        r.offer(2, 3, 'c', &mut out);
+        assert_eq!(r.offer(2, 3, 'c', &mut out), Offer::Duplicate);
+        assert_eq!(r.dup_drops(), 2);
+        r.offer(1, 2, 'b', &mut out);
+        assert_eq!(out, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn scr_reconciler_drops_straddling_overlaps_like_the_strict_machine() {
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        r.offer(0, 100, 1, &mut out);
+        // [50,150) straddles watermark 100: stale overlap, tail not spliced.
+        assert_eq!(r.offer(50, 150, 2, &mut out), Offer::Duplicate);
+        assert_eq!(r.offer(100, 200, 3, &mut out), Offer::Accepted);
+        assert_eq!(out, vec![1, 3]);
+        assert_eq!(r.watermark(), 200);
+    }
+
+    #[test]
+    fn scr_flush_skips_a_gap_and_classifies_stragglers_late() {
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        // Seqs 1,2 parked behind lost seq 0.
+        r.offer(1, 2, 'b', &mut out);
+        r.offer(2, 3, 'c', &mut out);
+        assert!(out.is_empty());
+        assert!(r.flush_one(&mut out));
+        assert_eq!(out, vec!['b', 'c']);
+        assert_eq!(r.watermark(), 3);
+        assert_eq!(r.flushes(), 1);
+        assert_eq!(r.skipped_ranges(), vec![(0, 1)]);
+        // The straggler of the flushed gap is Late, not Duplicate...
+        assert_eq!(r.offer(0, 1, 'a', &mut out), Offer::Late);
+        assert_eq!(r.late_drops(), 1);
+        // ...while a replay of an emitted record stays Duplicate.
+        assert_eq!(r.offer(1, 2, 'b', &mut out), Offer::Duplicate);
+    }
+
+    #[test]
+    fn scr_flush_stalled_releases_everything_and_coalesces_gaps() {
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        // Two separated parked runs: 2 and 5,6 (0,1,3,4 lost).
+        r.offer(2, 3, 2, &mut out);
+        r.offer(5, 6, 5, &mut out);
+        r.offer(6, 7, 6, &mut out);
+        assert_eq!(r.flush_stalled(&mut out), 2);
+        assert_eq!(out, vec![2, 5, 6]);
+        assert_eq!(r.skipped_ranges(), vec![(0, 2), (3, 5)]);
+        assert_eq!(r.parked_len(), 0);
+        // Idempotent once drained.
+        assert_eq!(r.flush_stalled(&mut out), 0);
+    }
+
+    #[test]
+    fn scr_reconciler_handles_byte_ranges_across_the_u32_wrap() {
+        let wrap = u32::MAX as u64;
+        let start = wrap - 1448;
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        r.offer(0, start, 0u64, &mut out);
+        // The segment crossing the boundary arrives after its successor.
+        r.offer(start + 1448, start + 2896, 2, &mut out);
+        r.offer(start, start + 1448, 1, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(r.watermark(), start + 2896);
+        assert!(r.watermark() > wrap);
+    }
+
+    #[test]
+    fn scr_watermark_is_monotone_under_adversarial_offers() {
+        let mut r = ScrReconciler::new();
+        let mut out = Vec::new();
+        let mut last = r.watermark();
+        let offers = [(0u64, 3u64), (10, 12), (3, 10), (2, 5), (0, 3), (12, 13)];
+        for (s, e) in offers {
+            r.offer(s, e, (s, e), &mut out);
+            assert!(r.watermark() >= last, "watermark regressed at ({s},{e})");
+            last = r.watermark();
+        }
+        r.flush_stalled(&mut out);
+        assert!(r.watermark() >= last);
+        // Emitted ranges must be disjoint and ascending: exactly-once.
+        let mut pos = 0;
+        for (s, e) in out {
+            assert!(s >= pos, "range ({s},{e}) overlaps an emitted one");
+            pos = e;
+        }
     }
 
     #[test]

@@ -46,6 +46,14 @@
 /// * `recovery_ns` — worst-case time-to-recovery: the longest gap
 ///   between a death being observed and the replacement worker being
 ///   live (runtime engine).
+/// * `stateful_mode` — how the stateful stage ran relative to the merge
+///   point: `merge-before-tcp` (serial, after the merge) or `scr`
+///   (replicated on every lane, reconciled downstream).
+/// * `replicated_transitions` — state transitions computed by lane
+///   replicas under SCR (each packet's stateful work, counted once per
+///   lane that performed it — duplicated dispatches replicate too).
+/// * `reconciled_dups` — replicated transitions the reconciler
+///   discarded as already emitted (exactly-once enforcement).
 /// * `lane_depths` — end-of-run per-lane backlog (runtime: batches per
 ///   worker queue; simulator: segments per split lane).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -67,6 +75,10 @@ pub struct Telemetry {
     pub restarts: u64,
     pub heartbeat_misses: u64,
     pub recovery_ns: u64,
+    /// Stateful-stage placement: `merge-before-tcp` or `scr`.
+    pub stateful_mode: String,
+    pub replicated_transitions: u64,
+    pub reconciled_dups: u64,
     pub lane_depths: Vec<u64>,
 }
 
@@ -75,6 +87,7 @@ impl Telemetry {
     pub fn new(policy: impl Into<String>) -> Self {
         Self {
             policy: policy.into(),
+            stateful_mode: "merge-before-tcp".into(),
             ..Self::default()
         }
     }
@@ -82,7 +95,7 @@ impl Telemetry {
     /// The scalar counter keys, in serialization order. Exposed so tests
     /// and the bench harness can verify every engine emits the same
     /// schema without parsing JSON.
-    pub const SCALAR_KEYS: [&'static str; 15] = [
+    pub const SCALAR_KEYS: [&'static str; 17] = [
         "delivered",
         "ooo",
         "flushed",
@@ -98,9 +111,11 @@ impl Telemetry {
         "restarts",
         "heartbeat_misses",
         "recovery_ns",
+        "replicated_transitions",
+        "reconciled_dups",
     ];
 
-    fn scalars(&self) -> [u64; 15] {
+    fn scalars(&self) -> [u64; 17] {
         [
             self.delivered,
             self.ooo,
@@ -117,6 +132,8 @@ impl Telemetry {
             self.restarts,
             self.heartbeat_misses,
             self.recovery_ns,
+            self.replicated_transitions,
+            self.reconciled_dups,
         ]
     }
 
@@ -133,6 +150,10 @@ impl Telemetry {
         let mut out = String::with_capacity(256);
         out.push('{');
         out.push_str(&format!("\"policy\": \"{}\"", escape(&self.policy)));
+        out.push_str(&format!(
+            ", \"stateful_mode\": \"{}\"",
+            escape(&self.stateful_mode)
+        ));
         for (key, value) in Self::SCALAR_KEYS.iter().zip(self.scalars()) {
             out.push_str(&format!(", \"{key}\": {value}"));
         }

@@ -58,6 +58,11 @@ pub struct CostModel {
     /// Extra cost per segment inserted into TCP's out-of-order queue — the
     /// expensive per-packet reordering MFLOW's batch reassembly avoids.
     pub tcp_ooo_insert: f64,
+    /// Per-record cost of the state-compute-replication reconciler: a
+    /// watermark compare plus a dedup-map touch, replacing the full
+    /// `tcp_rx` stage on the merge core when SCR is active (the stateful
+    /// work was already replicated on the lane cores).
+    pub scr_reconcile_per_skb: f64,
     /// Cost of generating one ACK in `TcpRx`.
     pub tcp_ack_tx: f64,
     pub udp_rx: StageCost,
@@ -161,6 +166,7 @@ impl CostModel {
                 per_byte: 0.0,
             },
             tcp_ooo_insert: 120.0,
+            scr_reconcile_per_skb: 30.0,
             tcp_ack_tx: 140.0,
             udp_rx: StageCost {
                 per_batch: 0.0,

@@ -16,6 +16,7 @@ pub mod gro;
 pub mod policy;
 pub mod report;
 pub mod ring;
+pub mod scr;
 pub mod skb;
 pub mod socket;
 pub mod stack;
@@ -28,6 +29,8 @@ pub use cost::CostModel;
 pub use faults::{FaultConfig, FaultCounts, FaultPlan};
 pub use policy::{FlowMerger, LoadView, PacketSteering, StayLocal};
 pub use report::RunReport;
+pub use scr::StatefulMode;
 pub use skb::{FlowId, MicroflowTag, MsgEnd, Skb};
 pub use stack::{Event, MergeSetup, StackSim};
 pub use stage::{PathKind, Stage, Transport};
+pub use tcp::FlowState;

@@ -1,0 +1,71 @@
+//! State-compute replication (SCR): how the engines run the stateful
+//! TCP stage.
+//!
+//! MFLOW's split/merge design stops at the stateless/stateful boundary —
+//! micro-flows are merged back into wire order *before* TCP so the
+//! per-flow state machine stays serial. SCR replicates that state
+//! computation on every lane instead: each lane advances its own clone of
+//! the flow state over the packets it sees and emits idempotent *delivery
+//! records*; a downstream reconciler deduplicates the replicated
+//! transitions and emits each in-order byte range exactly once. The
+//! stateful work then scales with the lanes and only a cheap watermark
+//! check remains serial.
+
+/// Where the stateful (TCP) stage runs relative to the merge point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StatefulMode {
+    /// The paper's design: merge micro-flows back into wire order first,
+    /// then run the stateful stage once, serially, after the merge.
+    #[default]
+    MergeBeforeTcp,
+    /// Replicate the stateful computation on every lane and reconcile
+    /// the emitted delivery records downstream (PAPERS.md: state-compute
+    /// replication).
+    StateComputeReplication,
+}
+
+impl StatefulMode {
+    /// Both modes, for sweeps and differential tests.
+    pub const ALL: [StatefulMode; 2] = [
+        StatefulMode::MergeBeforeTcp,
+        StatefulMode::StateComputeReplication,
+    ];
+
+    /// Stable name used in telemetry and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StatefulMode::MergeBeforeTcp => "merge-before-tcp",
+            StatefulMode::StateComputeReplication => "scr",
+        }
+    }
+
+    /// Parses a CLI spelling. Accepts the stable names plus the obvious
+    /// abbreviations.
+    pub fn parse(s: &str) -> Option<StatefulMode> {
+        match s {
+            "merge-before-tcp" | "mbt" | "merge" => Some(StatefulMode::MergeBeforeTcp),
+            "scr" | "state-compute-replication" | "replicate" => {
+                Some(StatefulMode::StateComputeReplication)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_design() {
+        assert_eq!(StatefulMode::default(), StatefulMode::MergeBeforeTcp);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for m in StatefulMode::ALL {
+            assert_eq!(StatefulMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(StatefulMode::parse("bogus"), None);
+    }
+}

@@ -7,7 +7,7 @@
 //! vanilla, RPS, FALCON and MFLOW unchanged — exactly the property the
 //! paper claims for its in-kernel mechanisms.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use mflow_error::MflowError;
 use mflow_metrics::Telemetry;
@@ -19,10 +19,11 @@ use crate::faults::FaultPlan;
 use crate::policy::{FlowMerger, LoadView, PacketSteering};
 use crate::report::RunReport;
 use crate::ring::RxRing;
+use crate::scr::StatefulMode;
 use crate::skb::{FlowId, MsgEnd, Skb};
 use crate::socket::{SockItem, Socket};
 use crate::stage::{Stage, Transport};
-use crate::tcp::{TcpReceiver, TcpSender};
+use crate::tcp::{FlowState, TcpReceiver, TcpSender};
 
 /// Simulation events.
 #[derive(Debug)]
@@ -64,7 +65,7 @@ struct ClientState {
     rto_armed: bool,
 }
 
-struct FlowState {
+struct SimFlow {
     transport: Transport,
     sock: usize,
     hash: u32,
@@ -99,6 +100,22 @@ pub struct MergeSetup {
     /// Stage the merger guards (skbs are reordered before entering it).
     pub before: Stage,
     pub merger: Box<dyn FlowMerger>,
+    /// How the stateful TCP stage runs relative to this merge point.
+    /// Under [`StatefulMode::StateComputeReplication`] the merger is
+    /// bypassed for the TCP path: lanes advance replicated flow state and
+    /// the receive-side machine reconciles their delivery records.
+    pub stateful: StatefulMode,
+}
+
+/// Per-lane replicated flow state and its counters (SCR mode only).
+#[derive(Default)]
+struct ScrState {
+    /// (flow, lane core) → that lane's replica of the flow state.
+    replicas: BTreeMap<(FlowId, CoreId), FlowState>,
+    /// Delivery records emitted by lane replicas.
+    records: u64,
+    /// Transitions suppressed lane-locally as already replicated.
+    lane_dups: u64,
 }
 
 /// The simulated host.
@@ -121,12 +138,13 @@ pub struct StackSim {
     /// over-threshold arrival may upgrade to fire immediately.
     poll_coalesced: Vec<bool>,
     clients: Vec<ClientState>,
-    flows: Vec<FlowState>,
+    flows: Vec<SimFlow>,
     socks: Vec<Socket>,
     link_free_at: Time,
     rng: Rng,
     /// Active fault-injection plan (merge-point perturbation).
     faults: Option<FaultPlan>,
+    scr: ScrState,
     stats: Stats,
 }
 
@@ -184,7 +202,7 @@ impl StackSim {
                     Transport::Udp => mflow_net::flow::Proto::Udp,
                 },
             };
-            flows.push(FlowState {
+            flows.push(SimFlow {
                 transport: f.transport,
                 sock: f.sock,
                 hash: key.rss_hash(),
@@ -252,6 +270,7 @@ impl StackSim {
             link_free_at: 0,
             rng,
             faults,
+            scr: ScrState::default(),
             cfg,
             policy,
             merge,
@@ -322,6 +341,13 @@ impl StackSim {
             self.poll_coalesced[core] = false;
             ctx.schedule(0, Event::CorePoll { core });
         }
+    }
+
+    /// True when the TCP merge point runs under state-compute replication.
+    fn scr_active(&self) -> bool {
+        self.merge.as_ref().is_some_and(|m| {
+            m.stateful == StatefulMode::StateComputeReplication && m.before == Stage::TcpRx
+        })
     }
 
     fn has_work(&self, core: CoreId) -> bool {
@@ -588,10 +614,16 @@ impl StackSim {
         let migrated = batch
             .iter()
             .any(|s| s.last_core.is_some() && s.last_core != Some(core));
-        let base = self
-            .cfg
-            .cost
-            .stage_cost_ns(stage, self.cfg.path, skbs, segs, bytes, migrated);
+        let base = if stage == Stage::TcpRx && self.scr_active() {
+            // Reconcile-only: the stateful work was already replicated on
+            // the lane cores at the merge seam; what remains here is the
+            // cheap watermark/dedup pass over the delivery records.
+            (self.cfg.cost.scr_reconcile_per_skb * skbs as f64).round() as u64
+        } else {
+            self.cfg
+                .cost
+                .stage_cost_ns(stage, self.cfg.path, skbs, segs, bytes, migrated)
+        };
         let cost = (base as f64 * self.jitter_factor()).round() as u64;
         let (_, end) = self.cores.execute(core, now, cost, stage.tag());
         self.core_scheduled[core] = true;
@@ -649,6 +681,7 @@ impl StackSim {
             let loads = LoadView::new(&self.backlog_segs);
             let assignments = self.policy.dispatch(now, stage, next, core, group, loads);
             for (target, mut sub) in assignments {
+                let mut replicate_here = false;
                 if let Some(setup) = &mut self.merge {
                     if setup.before == next {
                         if let Some(plan) = &mut self.faults {
@@ -667,15 +700,51 @@ impl StackSim {
                                     .map_or(skb.wire_seq, |m| m.max(skb.wire_seq)),
                             );
                         }
-                        let offered = sub.len() as u64;
-                        sub = setup.merger.offer(sub);
-                        let released = sub.len() as u64;
-                        self.stats.merge_invocations += 1;
-                        let mcost = setup.merger.merge_cost_ns(offered, released);
-                        if mcost > 0 {
-                            self.cores.execute(target, now, mcost, "mflow.merge");
+                        if setup.stateful == StatefulMode::StateComputeReplication
+                            && next == Stage::TcpRx
+                        {
+                            replicate_here = true;
+                        } else {
+                            let offered = sub.len() as u64;
+                            sub = setup.merger.offer(sub);
+                            let released = sub.len() as u64;
+                            self.stats.merge_invocations += 1;
+                            let mcost = setup.merger.merge_cost_ns(offered, released);
+                            if mcost > 0 {
+                                self.cores.execute(target, now, mcost, "mflow.merge");
+                            }
                         }
                     }
+                }
+                if replicate_here {
+                    // SCR: instead of buffering for wire order, this lane
+                    // advances its replica of each flow's state and pays
+                    // the stateful stage cost here, in parallel with the
+                    // other lanes; only first-sighting records travel on
+                    // to the reconciler at `target`.
+                    let (skbs, segs, bytes) = sub.iter().fold((0u64, 0u64, 0u64), |a, s| {
+                        (a.0 + 1, a.1 + s.segs as u64, a.2 + s.payload_bytes as u64)
+                    });
+                    let mut records = Vec::with_capacity(sub.len());
+                    for skb in sub {
+                        let rep = self.scr.replicas.entry((skb.flow, core)).or_default();
+                        match rep.advance_replicated(skb) {
+                            Some(r) => {
+                                self.scr.records += 1;
+                                records.push(r);
+                            }
+                            None => self.scr.lane_dups += 1,
+                        }
+                    }
+                    let rcost = self
+                        .cfg
+                        .cost
+                        .stage_cost_ns(Stage::TcpRx, self.cfg.path, skbs, segs, bytes, false);
+                    if rcost > 0 {
+                        self.cores.execute(core, now, rcost, "scr.replicate");
+                    }
+                    self.stats.merge_invocations += 1;
+                    sub = records;
                 }
                 if sub.is_empty() {
                     continue;
@@ -732,11 +801,16 @@ impl StackSim {
 
     fn tcp_rx_done(&mut self, ctx: &mut Ctx<Event>, core: CoreId, batch: Vec<Skb>) {
         let now = ctx.now();
+        let scr = self.scr_active();
         for skb in batch {
             let flow_id = skb.flow;
             self.note_transport_order(flow_id, skb.wire_seq);
             let (deliverable, was_ooo) = self.flows[flow_id].rx.receive(skb);
-            if was_ooo {
+            if was_ooo && !scr {
+                // Under SCR the receive machine is the reconciler: parking
+                // a record is its normal operation, already covered by the
+                // per-record reconcile cost, not the kernel's expensive
+                // ooo-queue insert.
                 let c = self.cfg.cost.tcp_ooo_insert as u64;
                 self.cores.execute(core, now, c, "tcp_rx.ooo");
             }
@@ -922,6 +996,18 @@ impl StackSim {
             })
             .unwrap_or((0, 0, 0, 0));
         let (desplits, resplits) = self.policy.desplit_stats();
+        let scr = self.scr_active();
+        let stateful_mode = self
+            .merge
+            .as_ref()
+            .map_or(StatefulMode::MergeBeforeTcp, |m| m.stateful);
+        // Under SCR the receive machine doubles as the reconciler, so its
+        // duplicate drops are reconciliation events, not wire anomalies.
+        let scr_rx_dups: u64 = if scr {
+            self.flows.iter().map(|f| f.rx.dups()).sum()
+        } else {
+            0
+        };
         // The shared counter block every engine reports. The simulator
         // has no shedding, inline fallback or redispatch (those are
         // real-thread overload mechanisms), so those stay zero;
@@ -945,6 +1031,9 @@ impl StackSim {
             restarts: 0,
             heartbeat_misses: 0,
             recovery_ns: 0,
+            stateful_mode: stateful_mode.name().to_string(),
+            replicated_transitions: self.scr.records,
+            reconciled_dups: self.scr.lane_dups + scr_rx_dups,
             lane_depths: self.backlog_watermark.clone(),
         };
         RunReport {

@@ -10,9 +10,17 @@ use std::collections::BTreeMap;
 
 use crate::skb::Skb;
 
-/// Receive-side reordering state for one TCP flow.
-#[derive(Debug, Default)]
-pub struct TcpReceiver {
+/// Per-flow TCP receive state, factored out of [`TcpReceiver`] so it can
+/// be *cloned per lane* under state-compute replication: every lane holds
+/// its own replica and advances it idempotently over the segments that
+/// lane happens to see, while the authoritative copy (the reconciler)
+/// runs the same strict machine over the merged record stream.
+///
+/// All byte offsets are `u64` cumulative stream offsets, so streams that
+/// start near `u32::MAX` (wire-level sequence wraparound) need no modular
+/// arithmetic here — the unit tests below cross that boundary explicitly.
+#[derive(Clone, Debug, Default)]
+pub struct FlowState {
     /// Next expected payload byte offset.
     expected: u64,
     /// Out-of-order queue keyed by byte offset.
@@ -27,7 +35,7 @@ pub struct TcpReceiver {
     dups: u64,
 }
 
-impl TcpReceiver {
+impl FlowState {
     /// Creates state expecting byte 0.
     pub fn new() -> Self {
         Self::default()
@@ -58,16 +66,20 @@ impl TcpReceiver {
         self.ooo.len()
     }
 
+    fn note_arrival(&mut self, wire_seq: u64) {
+        if let Some(max) = self.max_wire_seq {
+            if wire_seq < max {
+                self.inversions += 1;
+            }
+        }
+        self.max_wire_seq = Some(self.max_wire_seq.map_or(wire_seq, |m| m.max(wire_seq)));
+    }
+
     /// Receives one skb. Returns `(deliverable, ooo_inserted)`: the skbs
     /// now deliverable in order (possibly including previously parked
     /// ones), and whether this skb took the out-of-order path.
     pub fn receive(&mut self, skb: Skb) -> (Vec<Skb>, bool) {
-        if let Some(max) = self.max_wire_seq {
-            if skb.wire_seq < max {
-                self.inversions += 1;
-            }
-        }
-        self.max_wire_seq = Some(self.max_wire_seq.map_or(skb.wire_seq, |m| m.max(skb.wire_seq)));
+        self.note_arrival(skb.wire_seq);
 
         if skb.byte_end() <= self.expected {
             self.dups += 1;
@@ -101,6 +113,101 @@ impl TcpReceiver {
             }
         }
         (out, false)
+    }
+
+    /// State-compute-replication advance for a *lane replica*: identical
+    /// bookkeeping to [`receive`](Self::receive), except segments are
+    /// emitted as delivery records the moment this replica first sees
+    /// them (a lane only holds its share of the flow, so holes are the
+    /// normal case, not the exception — records go downstream and the
+    /// reconciler restores order).
+    ///
+    /// Returns `Some(record)` exactly once per distinct segment; a second
+    /// advance over the same segment is a no-op (`None`), which is what
+    /// makes replicated transitions safe to replay after duplication or
+    /// redispatch. The replica's `expected` watermark tracks the strict
+    /// machine byte for byte, so a suppression here implies the
+    /// reconciler already received records covering those bytes.
+    pub fn advance_replicated(&mut self, skb: Skb) -> Option<Skb> {
+        self.note_arrival(skb.wire_seq);
+
+        if skb.byte_end() <= self.expected {
+            self.dups += 1;
+            return None;
+        }
+        if skb.byte_seq != self.expected {
+            if self.ooo.contains_key(&skb.byte_seq) {
+                // Already recorded this segment out of order.
+                self.dups += 1;
+                return None;
+            }
+            self.ooo.insert(skb.byte_seq, skb.clone());
+            self.ooo_inserts += 1;
+            return Some(skb);
+        }
+        self.expected = skb.byte_end();
+        let record = skb;
+        // Ride the watermark over parked segments whose records already
+        // went out — same drain as `receive`, minus the re-emission.
+        while let Some(entry) = self.ooo.first_entry() {
+            if *entry.key() == self.expected {
+                let s = entry.remove();
+                self.expected = s.byte_end();
+            } else if *entry.key() < self.expected {
+                // Stale overlap.
+                entry.remove();
+                self.dups += 1;
+            } else {
+                break;
+            }
+        }
+        Some(record)
+    }
+}
+
+/// Receive-side reordering state for one TCP flow: the authoritative
+/// (strict, in-order-delivering) view over a [`FlowState`].
+#[derive(Debug, Default)]
+pub struct TcpReceiver {
+    state: FlowState,
+}
+
+impl TcpReceiver {
+    /// Creates state expecting byte 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next expected byte offset.
+    pub fn expected(&self) -> u64 {
+        self.state.expected()
+    }
+
+    /// Skbs that were inserted into the out-of-order queue.
+    pub fn ooo_inserts(&self) -> u64 {
+        self.state.ooo_inserts()
+    }
+
+    /// Arrival-order inversions seen (wire_seq lower than a prior one).
+    pub fn inversions(&self) -> u64 {
+        self.state.inversions()
+    }
+
+    /// Duplicates discarded.
+    pub fn dups(&self) -> u64 {
+        self.state.dups()
+    }
+
+    /// Skbs currently parked in the out-of-order queue.
+    pub fn ooo_len(&self) -> usize {
+        self.state.ooo_len()
+    }
+
+    /// Receives one skb. Returns `(deliverable, ooo_inserted)`: the skbs
+    /// now deliverable in order (possibly including previously parked
+    /// ones), and whether this skb took the out-of-order path.
+    pub fn receive(&mut self, skb: Skb) -> (Vec<Skb>, bool) {
+        self.state.receive(skb)
     }
 }
 
@@ -263,6 +370,120 @@ mod tests {
             delivered.extend(out.into_iter().map(|s| s.byte_seq));
         }
         assert_eq!(delivered, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn stream_crossing_u32_wrap_boundary_delivers_in_order() {
+        // Cumulative byte offsets straddling u32::MAX: the wire-level
+        // sequence number would wrap here, but the model's u64 stream
+        // offsets must sail straight through.
+        let wrap = u32::MAX as u64;
+        let start = wrap - 2 * 1448;
+        let mut rx = TcpReceiver::new();
+        // Pre-wrap prefix delivers the receiver up to `start`.
+        let (out, _) = rx.receive(seg(0, 0, start as u32));
+        assert_eq!(out.len(), 1);
+        assert_eq!(rx.expected(), start);
+        // Segments 0..4 cross the boundary; deliver them out of order.
+        let offs: Vec<u64> = (0..4).map(|i| start + i * 1448).collect();
+        for (w, &o) in [3usize, 1, 0, 2].iter().zip([offs[3], offs[1], offs[0], offs[2]].iter()) {
+            rx.receive(seg(1 + *w as u64, o, 1448));
+        }
+        assert_eq!(rx.expected(), start + 4 * 1448);
+        assert!(rx.expected() > wrap, "stream must end past the wrap point");
+        assert_eq!(rx.ooo_len(), 0);
+    }
+
+    #[test]
+    fn replica_crossing_u32_wrap_matches_strict_watermark() {
+        let wrap = u32::MAX as u64;
+        let start = wrap - 1448;
+        let mut strict = FlowState::new();
+        let mut replica = FlowState::new();
+        let segs = [seg(0, 0, start as u32), seg(1, start, 1448), seg(2, start + 1448, 1448)];
+        for s in &segs {
+            strict.receive(s.clone());
+            assert!(replica.advance_replicated(s.clone()).is_some());
+        }
+        assert_eq!(replica.expected(), strict.expected());
+        assert!(replica.expected() > wrap);
+    }
+
+    #[test]
+    fn partial_overlap_straddling_expected_drops_the_stale_copy() {
+        // Deliver [0,100); then a super-segment [0,300) arrives (a
+        // retransmit that got re-grouped). Strict semantics: it parks at
+        // offset 0 and is discarded as a stale overlap once the stream
+        // advances — its tail is *not* spliced in; the closed loop must
+        // retransmit [100,300) on its own boundaries.
+        let mut rx = TcpReceiver::new();
+        rx.receive(seg(0, 0, 100));
+        let (out, ooo) = rx.receive(seg(1, 0, 300));
+        assert!(out.is_empty());
+        assert!(ooo);
+        let (out, _) = rx.receive(seg(2, 100, 100));
+        assert_eq!(out.len(), 1);
+        assert_eq!(rx.expected(), 200);
+        assert_eq!(rx.dups(), 1, "stale overlap discarded during drain");
+    }
+
+    #[test]
+    fn replica_advance_is_idempotent() {
+        let mut replica = FlowState::new();
+        // First sighting of each segment emits a record...
+        assert!(replica.advance_replicated(seg(0, 0, 100)).is_some());
+        assert!(replica.advance_replicated(seg(2, 200, 100)).is_some());
+        // ...replaying either (delivered or parked) is a no-op.
+        assert!(replica.advance_replicated(seg(0, 0, 100)).is_none());
+        assert!(replica.advance_replicated(seg(2, 200, 100)).is_none());
+        assert_eq!(replica.dups(), 2);
+        // Filling the hole advances the watermark over the parked record
+        // without re-emitting it.
+        assert!(replica.advance_replicated(seg(1, 100, 100)).is_some());
+        assert_eq!(replica.expected(), 300);
+        assert_eq!(replica.ooo_len(), 0);
+        // And the whole prefix is now suppressed on replay.
+        assert!(replica.advance_replicated(seg(1, 100, 100)).is_none());
+    }
+
+    #[test]
+    fn lane_replicas_plus_reconciler_match_strict_delivery() {
+        // Two lanes each replicate the flow state over their half of the
+        // stream (with a retransmit duplicate thrown in); the surviving
+        // records, reconciled by a strict receiver, must deliver the
+        // same bytes in the same order as merge-before-tcp (one strict
+        // receiver fed the original stream).
+        let segs: Vec<Skb> = (0..8u64).map(|i| seg(i, i * 100, 100)).collect();
+        let mut strict = FlowState::new();
+        let mut reference = Vec::new();
+        for s in &segs {
+            let (out, _) = strict.receive(s.clone());
+            reference.extend(out.into_iter().map(|s| s.byte_seq));
+        }
+
+        let mut lane_a = FlowState::new();
+        let mut lane_b = FlowState::new();
+        let mut records = Vec::new();
+        for (i, s) in segs.iter().enumerate() {
+            let lane = if i % 2 == 0 { &mut lane_a } else { &mut lane_b };
+            if let Some(r) = lane.advance_replicated(s.clone()) {
+                records.push(r);
+            }
+            // A duplicated transition (fault-injected copy) is suppressed
+            // by the replica that already advanced over it.
+            if i == 3 {
+                assert!(lane_b.advance_replicated(s.clone()).is_none());
+            }
+        }
+        assert_eq!(records.len(), segs.len(), "one record per distinct segment");
+
+        let mut reconciler = FlowState::new();
+        let mut delivered = Vec::new();
+        for r in records {
+            let (out, _) = reconciler.receive(r);
+            delivered.extend(out.into_iter().map(|s| s.byte_seq));
+        }
+        assert_eq!(delivered, reference);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //!
 //! Differences from real proptest: cases are generated from a fixed
 //! deterministic seed schedule (per test-function name and case index),
-//! and failing inputs are printed but not shrunk. The strategy surface —
+//! and failing inputs are printed but not shrunk. A failing case also
+//! prints a one-line replay command (`PROPTEST_SEED=0x… cargo test …`);
+//! with `PROPTEST_SEED` set, a property runs exactly that one case
+//! instead of its schedule. The strategy surface —
 //! `any::<T>()`, integer/float ranges, tuples, `prop_map`,
 //! `prop::collection::vec` — matches the upstream semantics closely
 //! enough for the invariant tests in this repository.
@@ -59,6 +62,18 @@ impl TestRng {
         }
     }
 
+    /// Rebuilds a generator from a raw state, as printed in a failing
+    /// case's replay command.
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
+    /// The current raw state. Captured *before* any values are drawn, it
+    /// is the replay seed for everything drawn afterwards.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
@@ -76,6 +91,20 @@ impl TestRng {
     /// Uniform in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The `PROPTEST_SEED` replay override: hex (with or without a `0x`
+/// prefix) or decimal. When set, every property in the filtered run
+/// executes exactly the one case this seed generates — pair it with a
+/// `cargo test <name>` filter, as the printed replay command does.
+pub fn replay_seed() -> Option<u64> {
+    let v = std::env::var("PROPTEST_SEED").ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
     }
 }
 
@@ -408,8 +437,26 @@ macro_rules! __proptest_items {
             let __cfg: $crate::ProptestConfig = $cfg;
             let __cases = __cfg.resolved_cases();
             let __hash = $crate::test_name_hash(concat!(module_path!(), "::", stringify!($name)));
+            if let Some(__seed) = $crate::replay_seed() {
+                // Replay mode: exactly the one failing case, regenerated
+                // from its printed seed.
+                let mut __rng = $crate::TestRng::from_state(__seed);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                eprintln!(
+                    concat!(
+                        "proptest: {} replaying PROPTEST_SEED={:#018x} with inputs: ",
+                        $(stringify!($arg), " = {:?}; "),+
+                    ),
+                    stringify!($name),
+                    __seed,
+                    $(&$arg),+
+                );
+                $body
+                return;
+            }
             for __case in 0..__cases {
                 let mut __rng = $crate::TestRng::for_case(__hash, __case as u64);
+                let __seed = __rng.state();
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 let __inputs = format!(
                     concat!($(stringify!($arg), " = {:?}; "),+),
@@ -425,6 +472,11 @@ macro_rules! __proptest_items {
                         __case,
                         __cases,
                         __inputs
+                    );
+                    eprintln!(
+                        "proptest: replay exactly this case with: PROPTEST_SEED={:#018x} cargo test {}",
+                        __seed,
+                        stringify!($name)
                     );
                     ::std::panic::resume_unwind(__e);
                 }
@@ -443,6 +495,18 @@ mod tests {
         let mut a = crate::TestRng::for_case(1, 2);
         let mut b = crate::TestRng::for_case(1, 2);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn seed_round_trips_through_state() {
+        // A replayed generator (state captured pre-draw) reproduces the
+        // original draw sequence exactly — the contract behind the
+        // `PROPTEST_SEED=…` replay command printed on failure.
+        let mut original = crate::TestRng::for_case(0xfeed, 41);
+        let mut replay = crate::TestRng::from_state(original.state());
+        for _ in 0..64 {
+            assert_eq!(original.next_u64(), replay.next_u64());
+        }
     }
 
     #[test]

@@ -29,13 +29,14 @@ pub mod supervise;
 pub mod work;
 
 pub use faults::{FaultEvent, FaultLog, LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
+pub use mflow::{ScrReconciler, StatefulMode};
 pub use mflow_error::MflowError;
 pub use mflow_metrics::Telemetry;
 pub use mflow_steering::{PolicyKind, SteeringPolicy};
 pub use packet::{generate_frames, Frame};
 pub use pipeline::{
-    process_parallel, process_parallel_faulty, process_serial, BackpressurePolicy, RecoveryRates,
-    RunOutput, RuntimeConfig, Transport,
+    process_parallel, process_parallel_faulty, process_serial, process_serial_stateful,
+    BackpressurePolicy, RecoveryRates, RunOutput, RuntimeConfig, Transport,
 };
 pub use supervise::HeartbeatBoard;
-pub use work::{process_frame, PacketResult};
+pub use work::{process_frame, stateful_stage, PacketResult};

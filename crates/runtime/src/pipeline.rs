@@ -55,6 +55,24 @@
 //! Both transports preserve the same per-lane FIFO and disconnect
 //! semantics, so the fault-recovery machinery below is transport-blind.
 //!
+//! # Stateful modes
+//!
+//! The per-packet *stateful* stage ([`crate::work::stateful_stage`],
+//! [`RuntimeConfig::stateful_work`] rounds) can run in two places
+//! ([`RuntimeConfig::stateful_mode`]):
+//!
+//! * **merge-before-tcp** (default, the paper's design) — the merger
+//!   applies it serially after reassembly, so it stays a single-core
+//!   bottleneck exactly like the kernel's in-order TCP receive.
+//! * **scr** (state-compute replication) — every lane applies it to the
+//!   packets it processes, and the merger becomes a *reconciler*
+//!   ([`mflow::ScrReconciler`]): a per-stream seq watermark that emits
+//!   each position exactly once, in order, discarding replicated or
+//!   redispatched duplicates. Because the stage is a pure function of
+//!   the packet, both modes deliver byte-identical streams — the
+//!   differential suite in `tests/` proves it across every policy,
+//!   transport and fault mix.
+//!
 //! # Degradation under faults
 //!
 //! [`process_parallel_faulty`] runs the same pipeline with an injected
@@ -88,7 +106,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mflow::{ElephantConfig, MergeCounter, MergeStats, MflowLanes, MfTag};
+use mflow::{ElephantConfig, MergeCounter, MergeStats, MflowLanes, MfTag, ScrReconciler, StatefulMode};
 use mflow_error::MflowError;
 use mflow_metrics::Telemetry;
 use mflow_steering::{build_baseline, PolicyKind, SteeringPolicy};
@@ -97,7 +115,7 @@ use crate::faults::{FaultEvent, RuntimeFaults};
 use crate::packet::Frame;
 use crate::ring::{self, MuxRecvError, MuxRegistrar, RingConsumer, RingMux, RingProducer, RingSendError};
 use crate::supervise::{HeartbeatBoard, Supervisor};
-use crate::work::{process_frame, stage_group_sizes, PacketResult, StagedWork};
+use crate::work::{process_frame, stage_group_sizes, stateful_stage, PacketResult, StagedWork};
 
 /// Which cross-core handoff primitive carries batches and results.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -179,6 +197,14 @@ pub struct RuntimeConfig {
     /// Base respawn backoff in milliseconds; doubles per respawn of the
     /// same slot.
     pub restart_backoff_ms: u64,
+    /// Where the stateful stage runs: serially on the merger after
+    /// reassembly (`MergeBeforeTcp`, the paper's design) or replicated
+    /// on every lane with the merger reduced to a seq-watermark
+    /// reconciler (`StateComputeReplication`).
+    pub stateful_mode: StatefulMode,
+    /// Rounds of per-packet stateful work ([`crate::work::stateful_stage`]);
+    /// 0 disables the stage (both modes then deliver the plain digests).
+    pub stateful_work: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -196,6 +222,8 @@ impl Default for RuntimeConfig {
             heartbeat_interval_ms: None,
             restart_budget: 0,
             restart_backoff_ms: 8,
+            stateful_mode: StatefulMode::MergeBeforeTcp,
+            stateful_work: 0,
         }
     }
 }
@@ -291,8 +319,17 @@ pub struct RunOutput {
     pub digests: Vec<PacketResult>,
     /// Wall-clock processing time.
     pub elapsed: Duration,
-    /// Micro-flow IDs the merger flushed past instead of waiting forever
-    /// (the `flushed` counter is this list's length).
+    /// Busy time of the merger thread's serial stage: per-arrival merge
+    /// or reconcile bookkeeping plus, under merge-before-tcp, the serial
+    /// stateful pass. This is the quantity state-compute replication
+    /// exists to shrink, and unlike wall-clock it reads the same no
+    /// matter how many host cores the worker threads actually share.
+    /// (Zero for serial runs, which have no merge stage.)
+    pub stateful_serial_ns: u64,
+    /// What the merger flushed past instead of waiting forever (the
+    /// `flushed` counter is this list's length): micro-flow IDs under
+    /// merge-before-tcp, skipped packet seqs under SCR (the reconciler
+    /// tracks stream positions, not batch structure).
     pub flushed_mfs: Vec<u64>,
     /// Worker threads that panicked during the run (every incarnation).
     pub workers_died: usize,
@@ -332,6 +369,7 @@ impl RunOutput {
         Self {
             digests,
             elapsed,
+            stateful_serial_ns: 0,
             flushed_mfs: Vec::new(),
             workers_died: 0,
             workers_respawned: 0,
@@ -348,8 +386,18 @@ impl RunOutput {
 
 /// Baseline: one thread processes every frame in order.
 pub fn process_serial(frames: &[Frame]) -> RunOutput {
+    process_serial_stateful(frames, 0)
+}
+
+/// Baseline with the stateful stage applied in order after the
+/// per-packet work — the reference stream both
+/// [`RuntimeConfig::stateful_mode`]s must reproduce exactly.
+pub fn process_serial_stateful(frames: &[Frame], stateful_work: u32) -> RunOutput {
     let start = Instant::now();
-    let digests = frames.iter().map(process_frame).collect();
+    let digests = frames
+        .iter()
+        .map(|f| stateful_stage(process_frame(f), stateful_work))
+        .collect();
     RunOutput::new(digests, start.elapsed(), "serial")
 }
 
@@ -897,13 +945,30 @@ fn apply_worker_faults(
 }
 
 /// Completes every remaining stage of a staged batch and publishes the
-/// results. `Err` when the merger is gone.
-fn complete_to_merger(merge: &mut MergeTx, staged: StageBatch) -> Result<(), ()> {
+/// results, applying the replicated stateful stage when SCR is on
+/// (`scr_work`). `Err` when the merger is gone.
+fn complete_to_merger(
+    merge: &mut MergeTx,
+    staged: StageBatch,
+    scr_work: Option<u32>,
+) -> Result<(), ()> {
     let results: Vec<Merged> = staged
         .into_iter()
-        .map(|(tag, w)| (tag, w.complete()))
+        .map(|(tag, w)| {
+            let r = w.complete();
+            (tag, apply_scr(r, scr_work))
+        })
         .collect();
     merge.send_all(results)
+}
+
+/// Applies the lane-replicated stateful stage under SCR; identity under
+/// merge-before-tcp (the merger runs the stage there instead).
+fn apply_scr(r: PacketResult, scr_work: Option<u32>) -> PacketResult {
+    match scr_work {
+        Some(units) => stateful_stage(r, units),
+        None => r,
+    }
 }
 
 /// Cloneable factory for merger senders, so the supervisor can wire a
@@ -973,13 +1038,14 @@ fn forward_shared(
     slot: usize,
     merge: &mut MergeTx,
     staged: StageBatch,
+    scr_work: Option<u32>,
 ) -> Result<(), ()> {
     let (gen, tx) = {
         let mut s = chain.slots[slot].lock().expect("chain slot lock");
         (s.gen, s.tx.take())
     };
     let Some(mut tx) = tx else {
-        return complete_to_merger(merge, staged);
+        return complete_to_merger(merge, staged, scr_work);
     };
     // Count the batch as queued before publishing it, so the downstream
     // decrement can never observe the counter early.
@@ -1007,7 +1073,7 @@ fn forward_shared(
                     s.tx = None;
                 }
             }
-            complete_to_merger(merge, bounced)
+            complete_to_merger(merge, bounced, scr_work)
         }
     }
 }
@@ -1023,6 +1089,7 @@ fn fanout_worker_loop(
     faults: &RuntimeFaults,
     depths: &[AtomicUsize],
     beats: &HeartbeatBoard,
+    scr_work: Option<u32>,
 ) {
     let mut processed = 0u64;
     while let Some(batch) = rx.recv() {
@@ -1033,7 +1100,7 @@ fn fanout_worker_loop(
         // handoff per micro-flow, not per packet.
         let mut results = Vec::with_capacity(batch.len());
         for (tag, frame) in batch {
-            results.push((tag, process_frame(&frame)));
+            results.push((tag, apply_scr(process_frame(&frame), scr_work)));
         }
         if tx.send_all(results).is_err() {
             // Merger gone; nothing useful left to do.
@@ -1055,6 +1122,7 @@ fn chain_head_loop(
     depths: &[AtomicUsize],
     beats: &HeartbeatBoard,
     chain: ChainCtx<'_>,
+    scr_work: Option<u32>,
 ) {
     let mut processed = 0u64;
     while let Some(batch) = rx.recv() {
@@ -1065,7 +1133,7 @@ fn chain_head_loop(
             .into_iter()
             .map(|(tag, frame)| (tag, StagedWork::Raw(frame).advance_n(head_group)))
             .collect();
-        if forward_shared(chain, 0, &mut merge, staged).is_err() {
+        if forward_shared(chain, 0, &mut merge, staged, scr_work).is_err() {
             return;
         }
         processed += 1;
@@ -1085,6 +1153,7 @@ fn chain_worker_loop(
     faults: &RuntimeFaults,
     beats: &HeartbeatBoard,
     chain: ChainCtx<'_>,
+    scr_work: Option<u32>,
 ) {
     let mut processed = 0u64;
     while let Some(staged) = rx.recv() {
@@ -1095,7 +1164,7 @@ fn chain_worker_loop(
             .into_iter()
             .map(|(tag, w)| (tag, w.advance_n(my_group)))
             .collect();
-        if forward_shared(chain, slot, &mut merge, staged).is_err() {
+        if forward_shared(chain, slot, &mut merge, staged, scr_work).is_err() {
             return;
         }
         processed += 1;
@@ -1159,6 +1228,13 @@ pub fn process_parallel_faulty(
     // Otherwise per-lane FIFO carries order end to end and the merger
     // streams results through unbuffered.
     let use_counter = policy.reorders() || faults.is_active() || can_shed_or_recover;
+    // Stateful-stage placement: under SCR the lanes (and every degraded
+    // path that stands in for a lane — chain-local completion, inline
+    // processing) apply the stage; under merge-before-tcp the merger
+    // does, serially, after reassembly.
+    let scr = cfg.stateful_mode == StatefulMode::StateComputeReplication;
+    let sw = cfg.stateful_work;
+    let scr_work = if scr { Some(sw) } else { None };
 
     // Dispatcher -> worker lanes (SPSC: one producer, one consumer each).
     let mut lanes = Vec::with_capacity(n_lanes);
@@ -1251,7 +1327,7 @@ pub fn process_parallel_faulty(
             handles.push((
                 0,
                 s.spawn(move || {
-                    chain_head_loop(0, head_group, rx, tx, faults, depths, beats, chain)
+                    chain_head_loop(0, head_group, rx, tx, faults, depths, beats, chain, scr_work)
                 }),
             ));
             // Interior and tail workers.
@@ -1261,7 +1337,7 @@ pub fn process_parallel_faulty(
                 handles.push((
                     slot,
                     s.spawn(move || {
-                        chain_worker_loop(slot, 0, my_group, rx, tx, faults, beats, chain)
+                        chain_worker_loop(slot, 0, my_group, rx, tx, faults, beats, chain, scr_work)
                     }),
                 ));
             }
@@ -1271,20 +1347,30 @@ pub fn process_parallel_faulty(
             for (slot, (rx, tx)) in lane_rx.into_iter().zip(worker_merge_tx).enumerate() {
                 handles.push((
                     slot,
-                    s.spawn(move || fanout_worker_loop(slot, 0, rx, tx, faults, depths, beats)),
+                    s.spawn(move || {
+                        fanout_worker_loop(slot, 0, rx, tx, faults, depths, beats, scr_work)
+                    }),
                 ));
             }
         }
 
         // Merger thread: merging-counter reassembly with flush recovery,
-        // or plain passthrough when order cannot be perturbed.
+        // a seq-watermark reconciler under SCR, or plain passthrough when
+        // order cannot be perturbed. Under merge-before-tcp the stateful
+        // stage runs here, serially, after the merge — the paper's
+        // single-core bottleneck; under SCR the lanes already ran it.
         let merger = s.spawn(move || {
             let mut merge_rx = merge_rx;
             let mut out = Vec::new();
             let mut max_seen: Option<u64> = None;
             let mut ooo = 0u64;
+            let mut replicated = 0u64;
+            let mut serial_ns = 0u64;
             if !use_counter {
                 while let MergeRecv::Item((_tag, result)) = merge_rx.recv(None) {
+                    if scr {
+                        replicated += 1;
+                    }
                     if let Some(m) = max_seen {
                         if result.seq < m {
                             ooo += 1;
@@ -1293,7 +1379,59 @@ pub fn process_parallel_faulty(
                     max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
                     out.push(result);
                 }
-                return (out, MergeStats::default(), ooo, Vec::new());
+                if !scr {
+                    let t = Instant::now();
+                    for r in &mut out {
+                        *r = stateful_stage(*r, sw);
+                    }
+                    serial_ns += t.elapsed().as_nanos() as u64;
+                }
+                return (out, MergeStats::default(), ooo, Vec::new(), replicated, serial_ns);
+            }
+            if scr {
+                // Every arrival is a lane-computed stateful transition;
+                // the reconciler's per-stream watermark emits each seq
+                // exactly once, in order, and discards replicated or
+                // redispatched duplicates.
+                let mut rc: ScrReconciler<PacketResult> = ScrReconciler::new();
+                loop {
+                    let (_tag, result) = match merge_rx.recv(flush_timeout) {
+                        MergeRecv::Item(msg) => msg,
+                        MergeRecv::Timeout => {
+                            // No arrivals for a full deadline: force the
+                            // watermark past whatever seq is lost.
+                            let t = Instant::now();
+                            rc.flush_one(&mut out);
+                            serial_ns += t.elapsed().as_nanos() as u64;
+                            continue;
+                        }
+                        MergeRecv::Disconnected => break,
+                    };
+                    let t = Instant::now();
+                    replicated += 1;
+                    if let Some(m) = max_seen {
+                        if result.seq < m {
+                            ooo += 1;
+                        }
+                    }
+                    max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
+                    rc.offer(result.seq, result.seq + 1, result, &mut out);
+                    serial_ns += t.elapsed().as_nanos() as u64;
+                }
+                if flush_timeout.is_some() || faults.is_active() || supervised {
+                    let t = Instant::now();
+                    rc.flush_stalled(&mut out);
+                    serial_ns += t.elapsed().as_nanos() as u64;
+                }
+                // Under SCR the flushed list holds skipped packet seqs,
+                // not micro-flow ids: the reconciler tracks the stream
+                // position, not the batch structure.
+                let flushed: Vec<u64> = rc
+                    .skipped_ranges()
+                    .iter()
+                    .flat_map(|&(start, end)| start..end)
+                    .collect();
+                return (out, rc.stats(), ooo, flushed, replicated, serial_ns);
             }
             let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
             loop {
@@ -1303,11 +1441,14 @@ pub fn process_parallel_faulty(
                         // No arrivals for a full deadline: stop waiting
                         // for whatever the counter is stuck on and
                         // release parked successors.
+                        let t = Instant::now();
                         mc.flush_one(&mut out);
+                        serial_ns += t.elapsed().as_nanos() as u64;
                         continue;
                     }
                     MergeRecv::Disconnected => break,
                 };
+                let t = Instant::now();
                 if let Some(m) = max_seen {
                     if result.seq < m {
                         ooo += 1;
@@ -1315,14 +1456,24 @@ pub fn process_parallel_faulty(
                 }
                 max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
                 mc.offer(tag, result, &mut out);
+                serial_ns += t.elapsed().as_nanos() as u64;
             }
             // End of stream: flush whatever loss left stuck so nothing
             // stays parked forever.
             if flush_timeout.is_some() || faults.is_active() || supervised {
+                let t = Instant::now();
                 mc.flush_stalled(&mut out);
+                serial_ns += t.elapsed().as_nanos() as u64;
             }
             let flushed: Vec<u64> = mc.flushed_ids().iter().copied().collect();
-            (out, mc.stats(), ooo, flushed)
+            // The serial stateful stage proper: merge-before-tcp pays it
+            // here, after reassembly, packet by packet in order.
+            let t = Instant::now();
+            for r in &mut out {
+                *r = stateful_stage(*r, sw);
+            }
+            serial_ns += t.elapsed().as_nanos() as u64;
+            (out, mc.stats(), ooo, flushed, replicated, serial_ns)
         });
 
         // Dispatcher: this thread plays the IRQ core's first half.
@@ -1342,7 +1493,7 @@ pub fn process_parallel_faulty(
             d.inline_packets += batch.len() as u64;
             let mut results = Vec::with_capacity(batch.len());
             for (tag, frame) in batch {
-                results.push((tag, process_frame(&frame)));
+                results.push((tag, apply_scr(process_frame(&frame), scr_work)));
             }
             let _ = tx.send_all(results);
         };
@@ -1459,6 +1610,7 @@ pub fn process_parallel_faulty(
                                         s.spawn(move || {
                                             fanout_worker_loop(
                                                 slot, inc, rx, mtx, faults, depths, beats,
+                                                scr_work,
                                             )
                                         }),
                                     ));
@@ -1488,7 +1640,7 @@ pub fn process_parallel_faulty(
                                     s.spawn(move || {
                                         chain_head_loop(
                                             inc, head_group, rx, mtx, faults, depths, beats,
-                                            chain,
+                                            chain, scr_work,
                                         )
                                     }),
                                 ));
@@ -1542,7 +1694,7 @@ pub fn process_parallel_faulty(
                                         s.spawn(move || {
                                             chain_worker_loop(
                                                 slot, inc, my_group, rx, mtx, faults, beats,
-                                                chain,
+                                                chain, scr_work,
                                             )
                                         }),
                                     ));
@@ -1672,10 +1824,11 @@ pub fn process_parallel_faulty(
         return Err(MflowError::NoLiveWorkers);
     }
 
-    let (digests, mstats, ooo, flushed_mfs) = merged;
+    let (digests, mstats, ooo, flushed_mfs, replicated, stateful_serial_ns) = merged;
     let (desplits, resplits) = policy.desplit_stats();
     let telemetry = Telemetry {
         policy: policy.name().to_string(),
+        stateful_mode: cfg.stateful_mode.name().to_string(),
         delivered: digests.len() as u64,
         ooo,
         flushed: flushed_mfs.len() as u64,
@@ -1691,11 +1844,14 @@ pub fn process_parallel_faulty(
         restarts,
         heartbeat_misses,
         recovery_ns,
+        replicated_transitions: replicated,
+        reconciled_dups: if scr { mstats.dup_drops } else { 0 },
         lane_depths: lane_depths.iter().map(|&d| d as u64).collect(),
     };
     Ok(RunOutput {
         digests,
         elapsed: start.elapsed(),
+        stateful_serial_ns,
         flushed_mfs,
         workers_died,
         workers_respawned,

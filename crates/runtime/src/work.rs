@@ -62,6 +62,27 @@ fn digest_stage(seq: u64, payload: Vec<u8>) -> PacketResult {
     }
 }
 
+/// The stateful stage: `units` rounds of FNV mixing over the packet's
+/// digest, standing in for the per-packet share of TCP receive
+/// processing. A pure function of the packet result, so it computes the
+/// same value no matter which thread runs it — the property that lets
+/// state-compute replication move it from the serial merge stage onto
+/// the parallel lanes without changing the delivered stream
+/// ([`crate::pipeline::RuntimeConfig::stateful_mode`]).
+///
+/// `units == 0` is the identity: no stateful work configured.
+pub fn stateful_stage(r: PacketResult, units: u32) -> PacketResult {
+    if units == 0 {
+        return r;
+    }
+    let mut digest = r.digest ^ r.seq.wrapping_mul(0x9e3779b97f4a7c15);
+    for round in 0..units as u64 {
+        digest ^= round.wrapping_add(r.len as u64);
+        digest = digest.wrapping_mul(0x100000001b3);
+    }
+    PacketResult { digest, ..r }
+}
+
 /// A packet part-way through the staged pipeline — the unit FALCON chain
 /// workers hand to the next hop after applying their stage group.
 #[derive(Debug)]
@@ -171,6 +192,32 @@ mod tests {
                 assert_eq!(staged, whole, "diverged after {head} staged steps");
             }
         }
+    }
+
+    #[test]
+    fn stateful_stage_is_pure_and_thread_independent() {
+        let frames = generate_frames(4, 96);
+        let r = process_frame(&frames[1]);
+        let a = stateful_stage(r, 17);
+        let b = stateful_stage(r, 17);
+        assert_eq!(a, b, "same input must give the same transition");
+        assert_eq!(a.seq, r.seq);
+        assert_eq!(a.len, r.len);
+        assert_ne!(a.digest, r.digest, "17 rounds must transform the digest");
+    }
+
+    #[test]
+    fn stateful_stage_zero_units_is_identity() {
+        let frames = generate_frames(1, 64);
+        let r = process_frame(&frames[0]);
+        assert_eq!(stateful_stage(r, 0), r);
+    }
+
+    #[test]
+    fn stateful_stage_units_change_the_digest() {
+        let frames = generate_frames(1, 64);
+        let r = process_frame(&frames[0]);
+        assert_ne!(stateful_stage(r, 1).digest, stateful_stage(r, 2).digest);
     }
 
     #[test]

@@ -87,6 +87,16 @@ impl PolicyKind {
 
     /// Whether the policy can interleave packets of one flow across
     /// lanes, requiring merge-point reassembly.
+    ///
+    /// This is also the axis that decides what state-compute replication
+    /// buys: a reordering policy forces the merge point to buffer and
+    /// re-sequence *before* the stateful stage can run, so moving that
+    /// stage onto the lanes (SCR) takes it off the serial critical path.
+    /// Non-reordering policies deliver each flow through one FIFO lane,
+    /// where the stateful stage was never merge-blocked to begin with —
+    /// SCR must still produce the identical stream there (the
+    /// differential suite checks every policy in [`PolicyKind::ALL`]),
+    /// it just has less to win.
     pub fn reorders(self) -> bool {
         matches!(self, PolicyKind::Mflow)
     }
@@ -318,6 +328,16 @@ mod tests {
             } else {
                 assert_eq!(kind, PolicyKind::Mflow);
             }
+        }
+    }
+
+    #[test]
+    fn only_mflow_reorders() {
+        // The merge point — and therefore the stage SCR parallelizes —
+        // is only order-restoring under mflow; every baseline keeps a
+        // flow on one FIFO path.
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.reorders(), kind == PolicyKind::Mflow, "{kind}");
         }
     }
 
