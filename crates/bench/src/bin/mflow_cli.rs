@@ -16,8 +16,9 @@ use mflow_netstack::{
 };
 use mflow_runtime::{
     generate_frames, process_parallel, process_parallel_faulty, process_serial,
-    process_serial_stateful, BackpressurePolicy, Frame, LaneStall, PolicyKind, RuntimeConfig,
-    RuntimeFaults, SlowWorker, StatefulMode, Transport as RtTransport, WorkerKill,
+    process_serial_stateful, BackpressurePolicy, Frame, LaneStall, MergerKill, MergerStall,
+    PolicyKind, RuntimeConfig, RuntimeFaults, SlowWorker, StatefulMode, Transport as RtTransport,
+    WorkerKill,
 };
 use mflow_sim::MS;
 use mflow_workloads::sockperf::UDP_CLIENTS;
@@ -56,6 +57,7 @@ struct Args {
     restart_budget: u32,
     heartbeat_interval_ms: Option<u64>,
     restart_backoff_ms: u64,
+    checkpoint_every: u64,
     // Stateful-stage placement (both engines).
     stateful_mode: StatefulMode,
     stateful_work: u32,
@@ -92,6 +94,9 @@ fn usage() -> ! {
          \x20                [--flush-timeout-ms MS] [--rt-transport mpsc|ring]\n\
          \x20                [--merger-depth RESULTS] [--restart-budget N]\n\
          \x20                [--heartbeat-interval-ms MS] [--restart-backoff-ms MS]\n\
+         \x20                [--checkpoint-every OFFERS]\n\
+         \x20                [--fault-merger-kill OFFERS:INCARNATION]...\n\
+         \x20                [--fault-merger-stall OFFERS:MS]\n\
          \x20                [--stateful-mode merge-before-tcp|scr] [--stateful-work ROUNDS]\n\
          \x20  chaos mode:   --chaos-soak [--chaos-seed N] [--chaos-frames N]\n\
          \x20                [--chaos-policies p1,p2,..] [--chaos-transports mpsc,ring]\n\
@@ -132,6 +137,7 @@ fn parse_args() -> Args {
         restart_budget: 0,
         heartbeat_interval_ms: None,
         restart_backoff_ms: RuntimeConfig::default().restart_backoff_ms,
+        checkpoint_every: RuntimeConfig::default().checkpoint_every,
         stateful_mode: StatefulMode::MergeBeforeTcp,
         stateful_work: 0,
         chaos_soak: false,
@@ -293,6 +299,25 @@ fn parse_args() -> Args {
             "--restart-backoff-ms" => {
                 args.restart_backoff_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--checkpoint-every" => {
+                args.checkpoint_every = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-merger-kill" => {
+                let v = value(&mut i);
+                let (offers, inc) = v.split_once(':').unwrap_or_else(|| usage());
+                args.rt_faults.merger_kills.push(MergerKill {
+                    after_offers: offers.parse().unwrap_or_else(|_| usage()),
+                    incarnation: inc.parse().unwrap_or_else(|_| usage()),
+                });
+            }
+            "--fault-merger-stall" => {
+                let v = value(&mut i);
+                let (offers, ms) = v.split_once(':').unwrap_or_else(|| usage());
+                args.rt_faults.merger_stall = Some(MergerStall {
+                    after_offers: offers.parse().unwrap_or_else(|_| usage()),
+                    ms: ms.parse().unwrap_or_else(|_| usage()),
+                });
+            }
             "--stateful-mode" => {
                 let v = value(&mut i);
                 args.stateful_mode = StatefulMode::parse(&v).unwrap_or_else(|| {
@@ -374,6 +399,7 @@ fn run_runtime(a: &Args) {
         restart_backoff_ms: a.restart_backoff_ms,
         stateful_mode: a.stateful_mode,
         stateful_work: a.stateful_work,
+        checkpoint_every: a.checkpoint_every,
     };
     let frames = generate_frames(a.frames, 1400);
     let out = match process_parallel_faulty(&frames, &cfg, &a.rt_faults) {
@@ -418,7 +444,7 @@ fn run_runtime(a: &Args) {
         "ordering: {} raced at merge; faults: {} drops, {} redispatched, {} workers died",
         out.telemetry.ooo, out.telemetry.fault_drops, out.telemetry.redispatched, out.workers_died
     );
-    if cfg.supervised() {
+    if cfg.supervised() || out.merger_deaths > 0 {
         println!(
             "supervision: {} restarts, {} heartbeat misses, worst recovery {:.2} ms, {} respawned / {} abandoned",
             out.telemetry.restarts,
@@ -426,6 +452,16 @@ fn run_runtime(a: &Args) {
             out.telemetry.recovery_ns as f64 / 1e6,
             out.workers_respawned,
             out.workers_abandoned,
+        );
+        println!(
+            "merger domain: {} deaths / {} respawns, worst recovery {:.2} ms, \
+             {} checkpoints ({} snapshot bytes), {} offers replayed",
+            out.merger_deaths,
+            out.telemetry.merger_restarts,
+            out.telemetry.merger_recovery_ns as f64 / 1e6,
+            out.checkpoints,
+            out.telemetry.snapshot_bytes,
+            out.telemetry.restore_replayed_offers,
         );
         if out.recovery.recovered_ns > 0 {
             println!(
@@ -441,6 +477,8 @@ fn run_runtime(a: &Args) {
         out.telemetry.to_json_with(&[
             ("workers_died", out.workers_died.to_string()),
             ("backpressure_events", out.backpressure_events.to_string()),
+            ("merger_deaths", out.merger_deaths.to_string()),
+            ("checkpoints", out.checkpoints.to_string()),
         ])
     );
 }
@@ -514,6 +552,8 @@ struct CellReport {
     restarts: u64,
     heartbeat_misses: u64,
     workers_died: usize,
+    merger_restarts: u64,
+    replayed_offers: u64,
     flushed: usize,
     elapsed_ms: f64,
 }
@@ -539,6 +579,9 @@ fn run_chaos_cell(
         heartbeat_interval_ms: Some(25),
         restart_budget: 32,
         restart_backoff_ms: 1,
+        // Small interval so every cell crosses several checkpoint
+        // boundaries and both merger kills land mid-window.
+        checkpoint_every: 256,
         ..RuntimeConfig::default()
     };
     // One scheduled death per worker slot the policy materialises: every
@@ -551,6 +594,21 @@ fn run_chaos_cell(
             incarnation: 0,
         })
         .collect();
+    // Two scheduled merger deaths: incarnation 0 early in the stream,
+    // its successor another ~half-checkpoint-window later — so every
+    // cell proves snapshot restore plus delta replay twice, back to
+    // back, while the worker kill schedule runs concurrently.
+    let first_merger_kill = 64 + splitmix(seed ^ 0xC0FFEE) % 256;
+    let merger_kills = vec![
+        MergerKill {
+            after_offers: first_merger_kill,
+            incarnation: 0,
+        },
+        MergerKill {
+            after_offers: first_merger_kill + 512,
+            incarnation: 1,
+        },
+    ];
     let faults = RuntimeFaults {
         seed,
         drop_rate: 0.01,
@@ -561,6 +619,7 @@ fn run_chaos_cell(
         stall_rate: 0.01,
         stall_ms: 1,
         kills,
+        merger_kills,
         flush_timeout_ms: Some(40),
         ..RuntimeFaults::none()
     };
@@ -586,8 +645,16 @@ fn run_chaos_cell(
     }
     if out.telemetry.residue != 0 {
         return Err(format!(
-            "{} items left parked in the merger",
-            out.telemetry.residue
+            "{} items left parked in the merger (delivered {}, flushed {}, late {}, dup {}, \
+             {} worker deaths, {} merger deaths, {} replayed)",
+            out.telemetry.residue,
+            out.digests.len(),
+            out.flushed_mfs.len(),
+            out.telemetry.late,
+            out.telemetry.dup,
+            out.workers_died,
+            out.merger_deaths,
+            out.telemetry.restore_replayed_offers
         ));
     }
 
@@ -637,12 +704,34 @@ fn run_chaos_cell(
             out.telemetry.restarts
         ));
     }
+    // Merger failure domain: both scheduled merger kills must have fired
+    // and been healed from the checkpoint layer, and replay must stay
+    // within one inter-checkpoint window per restore.
+    if out.merger_deaths < 2 || out.telemetry.merger_restarts < 2 {
+        return Err(format!(
+            "merger domain: {} deaths / {} respawns, expected at least 2 / 2",
+            out.merger_deaths, out.telemetry.merger_restarts
+        ));
+    }
+    // Each injected death panics right after journaling the fatal offer,
+    // so every restore must replay at least that offer. (The strict
+    // one-window upper bound is asserted by the recovery-equivalence
+    // suite, whose configs keep the dispatcher's backlog pump idle; here
+    // the pump may legitimately journal a burst while respawn backs off.)
+    if (out.telemetry.restore_replayed_offers as usize) < out.merger_deaths {
+        return Err(format!(
+            "merger replayed only {} offers across {} deaths",
+            out.telemetry.restore_replayed_offers, out.merger_deaths
+        ));
+    }
 
     Ok(CellReport {
         delivered: out.digests.len(),
         restarts: out.telemetry.restarts,
         heartbeat_misses: out.telemetry.heartbeat_misses,
         workers_died: out.workers_died,
+        merger_restarts: out.telemetry.merger_restarts,
+        replayed_offers: out.telemetry.restore_replayed_offers,
         flushed: out.flushed_mfs.len(),
         elapsed_ms: out.elapsed.as_secs_f64() * 1e3,
     })
@@ -676,11 +765,14 @@ fn run_chaos_soak(a: &Args) {
                     total_restarts += r.restarts;
                     println!(
                         "chaos[{policy}/{tname}]: OK — {} delivered, {} flushed mfs, \
-                         {} died / {} restarts, {} heartbeat misses, {:.1} ms",
+                         {} died / {} restarts, {} merger respawns ({} offers replayed), \
+                         {} heartbeat misses, {:.1} ms",
                         r.delivered,
                         r.flushed,
                         r.workers_died,
                         r.restarts,
+                        r.merger_restarts,
+                        r.replayed_offers,
                         r.heartbeat_misses,
                         r.elapsed_ms
                     );
@@ -710,6 +802,71 @@ fn run_chaos_soak(a: &Args) {
         a.chaos_policies.len() * a.chaos_transports.len(),
         total_restarts
     );
+    run_checkpoint_sweep();
+}
+
+/// Appended to the soak output: the cost of the merger's checkpointing
+/// as a function of the interval at the {4 workers, batch 32} reference
+/// point. The baseline each interval is judged against is a *supervised,
+/// WAL-on run that never snapshots* (`checkpoint_every = u64::MAX` —
+/// journal appends only), so the delta isolates exactly the periodic
+/// snapshot folds the interval controls. Arming supervision itself has a
+/// separate, pre-existing price (per-batch retention copies for
+/// redispatch, DESIGN.md §11) — printed once as the unarmed reference so
+/// the two costs are never conflated. Fault-free runs: no respawns, no
+/// replay. Best-of-3 per point: the soak's fault frames are far too few
+/// for a stable rate, so the sweep generates its own stream.
+fn run_checkpoint_sweep() {
+    const INTERVALS: [u64; 4] = [64, 256, 1024, 4096];
+    const SWEEP_FRAMES: usize = 100_000;
+    let frames = generate_frames(SWEEP_FRAMES, 256);
+    let base_cfg = RuntimeConfig {
+        workers: 4,
+        batch_size: 32,
+        queue_depth: 8,
+        ..RuntimeConfig::default()
+    };
+    let best_of = |cfg: &RuntimeConfig| -> (f64, u64, u64) {
+        let mut best = f64::MAX;
+        let mut stats = (0, 0);
+        for _ in 0..3 {
+            let out = process_parallel(&frames, cfg).expect("sweep point must run");
+            assert_eq!(
+                out.digests.len(),
+                frames.len(),
+                "checkpoint sweep lost packets (interval {})",
+                cfg.checkpoint_every
+            );
+            let secs = out.elapsed.as_secs_f64();
+            if secs < best {
+                best = secs;
+                stats = (out.checkpoints, out.telemetry.snapshot_bytes);
+            }
+        }
+        (frames.len() as f64 / best / 1e6, stats.0, stats.1)
+    };
+    let armed = |every: u64| RuntimeConfig {
+        heartbeat_interval_ms: Some(100),
+        restart_budget: 4,
+        checkpoint_every: every,
+        ..base_cfg
+    };
+    let (unarmed_mpps, _, _) = best_of(&base_cfg);
+    let (base_mpps, _, _) = best_of(&armed(u64::MAX));
+    println!(
+        "checkpoint sweep [4w x 32b, {SWEEP_FRAMES} frames, best of 3]: \
+         unarmed {unarmed_mpps:.2} Mpps, armed journal-only baseline {base_mpps:.2} Mpps \
+         ({:+.1}% supervision price)",
+        (base_mpps / unarmed_mpps - 1.0) * 100.0,
+    );
+    for every in INTERVALS {
+        let (mpps, checkpoints, snapshot_bytes) = best_of(&armed(every));
+        println!(
+            "checkpoint sweep: every={every} -> {mpps:.2} Mpps ({:+.1}% vs journal-only), \
+             {checkpoints} checkpoints, {snapshot_bytes} snapshot bytes",
+            (mpps / base_mpps - 1.0) * 100.0,
+        );
+    }
 }
 
 /// One measured point of the transport sweep.

@@ -211,6 +211,37 @@ impl<T> MergeCounter<T> {
         }
     }
 
+    /// A crash-consistent restore point: an independent deep copy of the
+    /// full mutable state (counter, per-lane buffers, micro-flow table,
+    /// flush bookkeeping). Feeding a snapshot the same offer stream the
+    /// original sees produces byte-identical releases and identical
+    /// [`MergeCounter::stats`] — the invariant the runtime's merger
+    /// failure domain checkpoints rely on, proven by the snapshot
+    /// round-trip proptest in the integration suite.
+    pub fn snapshot(&self) -> Self
+    where
+        T: Clone,
+    {
+        self.clone()
+    }
+
+    /// Estimated serialized size of a snapshot in bytes, for checkpoint
+    /// telemetry. An estimate (map overheads are approximated), not an
+    /// exact wire size — the runtime checkpoints by structural clone, so
+    /// no byte-exact encoding exists to measure.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let item = size_of::<MfTag>() + size_of::<T>();
+        let fixed = size_of::<Self>();
+        let buffered = self.buffered * item;
+        // One queue header per lane, one (id -> entry) record per known
+        // micro-flow, one u64 per flushed id.
+        let lanes = self.lanes.len() * size_of::<VecDeque<(MfTag, T)>>();
+        let mf_table = self.mf_lane.len() * (size_of::<u64>() + size_of::<MfEntry>());
+        let flushed = self.flushed_ids.len() * size_of::<u64>();
+        (fixed + buffered + lanes + mf_table + flushed) as u64
+    }
+
     /// Offers one tagged item; appends any now-in-order items to `out`
     /// and reports the item's fate.
     pub fn offer(&mut self, tag: MfTag, item: T, out: &mut Vec<T>) -> Offer {
@@ -294,6 +325,19 @@ impl<T> MergeCounter<T> {
             if !self.flush_one(out) {
                 break;
             }
+        }
+        // A per-lane FIFO violation upstream (e.g. a replaced-but-still-
+        // unwinding worker incarnation re-emitting on its slot's lane)
+        // can strand an item mid-queue behind a later micro-flow's: the
+        // walk above removes its entry while the item is unreachable,
+        // and no later counter value maps back to that lane. Everything
+        // still parked here has been passed by the counter — purge it
+        // exactly as the in-stream front purge would, so end-of-stream
+        // recovery always leaves the merge point empty.
+        for q in self.lanes.values_mut() {
+            self.buffered -= q.len();
+            self.late_drops += q.len() as u64;
+            q.clear();
         }
         (self.flushed_ids.len() - before) as u64
     }
@@ -461,6 +505,29 @@ impl<T> ScrReconciler<T> {
             dup_drops: self.dup_drops,
             residue: self.parked.len() as u64,
         }
+    }
+
+    /// A crash-consistent restore point: an independent deep copy of the
+    /// watermark, parked records, skipped ranges and drop counters. Same
+    /// contract as [`MergeCounter::snapshot`]: a snapshot fed the
+    /// remaining offer stream emits exactly what the original would.
+    pub fn snapshot(&self) -> Self
+    where
+        T: Clone,
+    {
+        self.clone()
+    }
+
+    /// Estimated serialized size of a snapshot in bytes (see
+    /// [`MergeCounter::approx_bytes`]). SCR state is deliberately tiny —
+    /// the property "State-Compute Replication" leans on — so this is
+    /// usually a few hundred bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let fixed = size_of::<Self>();
+        let parked = self.parked.len() * (2 * size_of::<u64>() + size_of::<T>());
+        let skipped = self.skipped.len() * 2 * size_of::<u64>();
+        (fixed + parked + skipped) as u64
     }
 
     fn in_skipped(&self, pos: u64) -> bool {
@@ -927,6 +994,26 @@ mod tests {
     }
 
     #[test]
+    fn flush_stalled_purges_items_stranded_by_fifo_violations() {
+        // A replaced-but-still-unwinding worker incarnation can re-emit
+        // on its slot's lane, landing an earlier micro-flow's packet
+        // *behind* a later one's in the same queue. The flush walk then
+        // removes the earlier mf's entry while its item is unreachable
+        // mid-queue, and once the later mf is flushed too, no counter
+        // value ever maps back to that lane: without the final purge the
+        // item would survive as permanent residue.
+        let mut m = MergeCounter::new();
+        let mut out = Vec::new();
+        m.offer(MfTag { id: 5, lane: 0, last: false }, 50, &mut out);
+        m.offer(MfTag { id: 3, lane: 0, last: false }, 30, &mut out);
+        assert!(out.is_empty());
+        m.flush_stalled(&mut out);
+        assert_eq!(out, vec![50], "only the reachable item is releasable");
+        assert_eq!(m.buffered(), 0, "no residue survives end-of-stream");
+        assert_eq!(m.stats().late_drops, 1, "the stranded item is accounted");
+    }
+
+    #[test]
     fn scr_reconciler_emits_each_range_exactly_once_in_order() {
         let mut r = ScrReconciler::new();
         let mut out = Vec::new();
@@ -1058,5 +1145,97 @@ mod tests {
         assert_eq!(bm.dup_drops(), 0);
         assert_eq!(bm.buffered(), 0);
         assert!(bm.flush_stalled().is_empty());
+    }
+
+    /// An adversarial interleaved offer stream for the snapshot tests:
+    /// micro-flows 0..n, each offered out of lane order, with one late
+    /// straggler and one duplicate mixed in.
+    fn snapshot_stream(n: u64) -> Vec<(MfTag, u64)> {
+        let mut stream = Vec::new();
+        for id in (0..n).rev() {
+            let lane = (id % 3) as usize;
+            stream.push((MfTag { id, lane, last: false }, id * 10));
+            stream.push((MfTag { id, lane, last: true }, id * 10 + 1));
+        }
+        // Duplicate of a released micro-flow and a stray copy.
+        stream.push((MfTag { id: 0, lane: 0, last: true }, 1));
+        stream
+    }
+
+    #[test]
+    fn merge_counter_snapshot_resumes_identically() {
+        let stream = snapshot_stream(12);
+        // Uninterrupted reference run.
+        let mut whole: MergeCounter<u64> = MergeCounter::with_flush_deadline(8);
+        let mut whole_out = Vec::new();
+        for &(tag, item) in &stream {
+            whole.offer(tag, item, &mut whole_out);
+        }
+        // Snapshot at every prefix, restore, replay the remainder.
+        for cut in 0..=stream.len() {
+            let mut mc: MergeCounter<u64> = MergeCounter::with_flush_deadline(8);
+            let mut out = Vec::new();
+            for &(tag, item) in &stream[..cut] {
+                mc.offer(tag, item, &mut out);
+            }
+            let mut restored = mc.snapshot();
+            drop(mc); // the original crashes here
+            for &(tag, item) in &stream[cut..] {
+                restored.offer(tag, item, &mut out);
+            }
+            assert_eq!(out, whole_out, "delivery diverged at cut {cut}");
+            assert_eq!(restored.stats(), whole.stats(), "stats diverged at cut {cut}");
+            assert_eq!(restored.counter(), whole.counter());
+        }
+    }
+
+    #[test]
+    fn scr_reconciler_snapshot_resumes_identically() {
+        // Positions arrive reversed pairwise with a duplicate: parked
+        // state is non-trivial at most cuts.
+        let stream: Vec<u64> = vec![1, 0, 3, 2, 5, 4, 4, 7, 6, 9, 8];
+        let mut whole: ScrReconciler<u64> = ScrReconciler::new();
+        let mut whole_out = Vec::new();
+        for &p in &stream {
+            whole.offer(p, p + 1, p, &mut whole_out);
+        }
+        for cut in 0..=stream.len() {
+            let mut rc: ScrReconciler<u64> = ScrReconciler::new();
+            let mut out = Vec::new();
+            for &p in &stream[..cut] {
+                rc.offer(p, p + 1, p, &mut out);
+            }
+            let mut restored = rc.snapshot();
+            drop(rc);
+            for &p in &stream[cut..] {
+                restored.offer(p, p + 1, p, &mut out);
+            }
+            assert_eq!(out, whole_out, "delivery diverged at cut {cut}");
+            assert_eq!(restored.stats(), whole.stats(), "stats diverged at cut {cut}");
+            assert_eq!(restored.watermark(), whole.watermark());
+        }
+    }
+
+    #[test]
+    fn approx_bytes_tracks_buffered_state() {
+        let mut mc: MergeCounter<u64> = MergeCounter::new();
+        let empty = mc.approx_bytes();
+        let mut out = Vec::new();
+        // Park a deep backlog behind missing micro-flow 0.
+        for id in 1..100 {
+            mc.offer(MfTag { id, lane: 0, last: true }, id, &mut out);
+        }
+        assert!(out.is_empty());
+        assert!(
+            mc.approx_bytes() > empty + 99 * 8,
+            "99 parked items must grow the estimate past the fixed cost"
+        );
+
+        let mut rc: ScrReconciler<u64> = ScrReconciler::new();
+        let rc_empty = rc.approx_bytes();
+        for p in 1..50 {
+            rc.offer(p, p + 1, p, &mut out);
+        }
+        assert!(rc.approx_bytes() > rc_empty + 49 * 8);
     }
 }

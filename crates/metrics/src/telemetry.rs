@@ -43,9 +43,19 @@
 /// * `heartbeat_misses` — times the watchdog declared a worker stalled
 ///   because its heartbeat epoch went stale past the deadline while it
 ///   had work queued (runtime engine).
-/// * `recovery_ns` — worst-case time-to-recovery: the longest gap
-///   between a death being observed and the replacement worker being
-///   live (runtime engine).
+/// * `recovery_ns` — worst-case time-to-recovery in the *worker* failure
+///   domain: the longest gap between a death being observed and the
+///   replacement worker being live (runtime engine).
+/// * `merger_restarts` — merger incarnations respawned from the latest
+///   checkpoint after a merger death or wedge (runtime engine).
+/// * `merger_recovery_ns` — worst-case time-to-recovery in the *merger*
+///   failure domain, kept separate from `recovery_ns` so the two
+///   domains' healing latencies are individually visible.
+/// * `snapshot_bytes` — cumulative estimated size of every merger-state
+///   checkpoint written to the write-ahead ring (runtime engine).
+/// * `restore_replayed_offers` — delta-log entries replayed across all
+///   merger restores; bounded by one inter-checkpoint window per crash
+///   restore (runtime engine).
 /// * `stateful_mode` — how the stateful stage ran relative to the merge
 ///   point: `merge-before-tcp` (serial, after the merge) or `scr`
 ///   (replicated on every lane, reconciled downstream).
@@ -75,6 +85,10 @@ pub struct Telemetry {
     pub restarts: u64,
     pub heartbeat_misses: u64,
     pub recovery_ns: u64,
+    pub merger_restarts: u64,
+    pub merger_recovery_ns: u64,
+    pub snapshot_bytes: u64,
+    pub restore_replayed_offers: u64,
     /// Stateful-stage placement: `merge-before-tcp` or `scr`.
     pub stateful_mode: String,
     pub replicated_transitions: u64,
@@ -95,7 +109,7 @@ impl Telemetry {
     /// The scalar counter keys, in serialization order. Exposed so tests
     /// and the bench harness can verify every engine emits the same
     /// schema without parsing JSON.
-    pub const SCALAR_KEYS: [&'static str; 17] = [
+    pub const SCALAR_KEYS: [&'static str; 21] = [
         "delivered",
         "ooo",
         "flushed",
@@ -111,11 +125,15 @@ impl Telemetry {
         "restarts",
         "heartbeat_misses",
         "recovery_ns",
+        "merger_restarts",
+        "merger_recovery_ns",
+        "snapshot_bytes",
+        "restore_replayed_offers",
         "replicated_transitions",
         "reconciled_dups",
     ];
 
-    fn scalars(&self) -> [u64; 17] {
+    fn scalars(&self) -> [u64; 21] {
         [
             self.delivered,
             self.ooo,
@@ -132,6 +150,10 @@ impl Telemetry {
             self.restarts,
             self.heartbeat_misses,
             self.recovery_ns,
+            self.merger_restarts,
+            self.merger_recovery_ns,
+            self.snapshot_bytes,
+            self.restore_replayed_offers,
             self.replicated_transitions,
             self.reconciled_dups,
         ]

@@ -1031,6 +1031,10 @@ impl StackSim {
             restarts: 0,
             heartbeat_misses: 0,
             recovery_ns: 0,
+            merger_restarts: 0,
+            merger_recovery_ns: 0,
+            snapshot_bytes: 0,
+            restore_replayed_offers: 0,
             stateful_mode: stateful_mode.name().to_string(),
             replicated_transitions: self.scr.records,
             reconciled_dups: self.scr.lane_dups + scr_rx_dups,

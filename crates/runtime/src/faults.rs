@@ -29,6 +29,33 @@ pub struct WorkerKill {
     pub incarnation: u64,
 }
 
+/// Kill one merger incarnation mid-run. The trigger counts *offers* —
+/// results the merger has received — rather than wall-clock or batches:
+/// both transports deliver the same total offer count, so the schedule
+/// fires identically under `Mpsc` and `Ring` even though arrival
+/// interleavings differ.
+#[derive(Clone, Copy, Debug)]
+pub struct MergerKill {
+    /// The merger panics once it has received this many offers.
+    pub after_offers: u64,
+    /// Which merger incarnation to kill: 0 is the originally spawned
+    /// merger, 1 the first supervised respawn, and so on.
+    pub incarnation: u64,
+}
+
+/// Wedge (rather than kill) the merger: one long sleep when its offer
+/// count crosses the trigger, modelling a merger thread pinned off-CPU.
+/// The dispatch watchdog detects the stale merger heartbeat with results
+/// outstanding, supersedes the wedged incarnation by generation, and
+/// respawns from the latest checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct MergerStall {
+    /// The sleep fires when the merger's offer count reaches this value.
+    pub after_offers: u64,
+    /// Sleep duration in milliseconds.
+    pub ms: u64,
+}
+
 /// One injected fault, as recorded by [`FaultLog`]. The variants carry
 /// only schedule-determined data (micro-flow ids, packet seqs, slots) —
 /// never timing — so two runs of the same seed produce the same multiset
@@ -45,6 +72,17 @@ pub enum FaultEvent {
     Stall { worker: usize, mf_id: u64 },
     /// A worker incarnation was killed.
     Kill { worker: usize, incarnation: u64 },
+    /// A merger incarnation was killed (after WAL-logging the offer that
+    /// triggered it, so the in-flight item is never lost).
+    MergerDeath { incarnation: u64 },
+    /// The supervisor respawned the merger; `incarnation` is the
+    /// replacement's number.
+    MergerRespawn { incarnation: u64 },
+    /// A respawned merger incarnation restored state from the latest
+    /// checkpoint and replayed the delta log.
+    SnapshotRestore { incarnation: u64 },
+    /// The merger wedged (injected stall) at this offer count.
+    MergerStall { offers: u64 },
 }
 
 /// Shared log of injected fault events, filled in by the pipeline as the
@@ -129,6 +167,13 @@ pub struct RuntimeFaults {
     /// Additional kills beyond [`RuntimeFaults::kill`] — a chaos schedule
     /// can target every slot (and respawned incarnations) in one run.
     pub kills: Vec<WorkerKill>,
+    /// Kill the merger mid-run.
+    pub merger_kill: Option<MergerKill>,
+    /// Additional merger kills — a multi-kill schedule can take down
+    /// successive incarnations (0, then 1, ...) in one run.
+    pub merger_kills: Vec<MergerKill>,
+    /// Wedge the merger with one long sleep at an offer count.
+    pub merger_stall: Option<MergerStall>,
     /// Sustained stall of one lane (sleep before every batch).
     pub lane_stall: Option<LaneStall>,
     /// Slow-consumer worker (per-batch microsecond slowdown).
@@ -158,6 +203,9 @@ impl RuntimeFaults {
             stall_ms: 1,
             kill: None,
             kills: Vec::new(),
+            merger_kill: None,
+            merger_kills: Vec::new(),
+            merger_stall: None,
             lane_stall: None,
             slow_worker: None,
             flush_timeout_ms: Some(100),
@@ -176,6 +224,15 @@ impl RuntimeFaults {
             || !self.kills.is_empty()
             || self.lane_stall.is_some()
             || self.slow_worker.is_some()
+            || self.merger_faults_active()
+    }
+
+    /// Whether any merger-domain fault is scheduled. Gates the merger's
+    /// write-ahead logging on otherwise-unsupervised runs: a run that can
+    /// lose its merger must journal offers even without a supervisor, so
+    /// the degraded dispatcher-side merge can reconstruct the stream.
+    pub fn merger_faults_active(&self) -> bool {
+        self.merger_kill.is_some() || !self.merger_kills.is_empty() || self.merger_stall.is_some()
     }
 
     /// Whether a kill is scheduled to fire for this `(worker, incarnation)`
@@ -186,6 +243,28 @@ impl RuntimeFaults {
             .iter()
             .chain(self.kills.iter())
             .any(|k| k.worker == worker && k.incarnation == incarnation && processed >= k.after_batches)
+    }
+
+    /// Whether a merger kill is scheduled to fire for `incarnation` once
+    /// it has received `offers` results. Like [`RuntimeFaults::kill_fires`],
+    /// the trigger is `>=`: a kill point that lands inside a window the
+    /// incarnation replayed from the delta log (replay performs no fault
+    /// checks) fires on its first fresh offer instead of being lost.
+    pub fn merger_kill_fires(&self, incarnation: u64, offers: u64) -> bool {
+        self.merger_kill
+            .iter()
+            .chain(self.merger_kills.iter())
+            .any(|k| k.incarnation == incarnation && offers >= k.after_offers)
+    }
+
+    /// Whether the injected merger wedge fires at exactly this offer
+    /// count. Exact equality: the sleep happens once, on the fresh offer
+    /// that crosses the trigger (never during delta replay), so the
+    /// recorded [`FaultEvent::MergerStall`] is schedule-determined.
+    pub fn merger_stall_fires(&self, offers: u64) -> Option<u64> {
+        self.merger_stall
+            .filter(|s| s.after_offers == offers)
+            .map(|s| s.ms)
     }
 
     /// Records `event` into the attached [`FaultLog`], if any.
@@ -301,6 +380,65 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a[0], FaultEvent::Drop { mf_id: 1, seq: 2 });
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merger_faults_make_it_active() {
+        let mut f = RuntimeFaults::none();
+        assert!(!f.merger_faults_active());
+        f.merger_kill = Some(MergerKill {
+            after_offers: 10,
+            incarnation: 0,
+        });
+        assert!(f.merger_faults_active());
+        assert!(f.is_active());
+        let mut f = RuntimeFaults::none();
+        f.merger_stall = Some(MergerStall {
+            after_offers: 5,
+            ms: 1,
+        });
+        assert!(f.merger_faults_active());
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn merger_kill_fires_matches_incarnation_and_offer_count() {
+        let mut f = RuntimeFaults::none();
+        f.merger_kills.push(MergerKill {
+            after_offers: 40,
+            incarnation: 1,
+        });
+        assert!(!f.merger_kill_fires(1, 39), "not enough offers yet");
+        assert!(f.merger_kill_fires(1, 40));
+        assert!(f.merger_kill_fires(1, 1000), ">= trigger survives replay skips");
+        assert!(!f.merger_kill_fires(0, 1000), "wrong incarnation");
+    }
+
+    #[test]
+    fn merger_stall_fires_exactly_once_at_the_trigger() {
+        let mut f = RuntimeFaults::none();
+        f.merger_stall = Some(MergerStall {
+            after_offers: 7,
+            ms: 3,
+        });
+        assert_eq!(f.merger_stall_fires(6), None);
+        assert_eq!(f.merger_stall_fires(7), Some(3));
+        assert_eq!(f.merger_stall_fires(8), None);
+    }
+
+    #[test]
+    fn merger_events_sort_canonically_with_worker_events() {
+        let log = FaultLog::new();
+        log.record(FaultEvent::MergerRespawn { incarnation: 1 });
+        log.record(FaultEvent::MergerDeath { incarnation: 0 });
+        log.record(FaultEvent::SnapshotRestore { incarnation: 1 });
+        log.record(FaultEvent::Kill {
+            worker: 0,
+            incarnation: 0,
+        });
+        let sorted = log.sorted();
+        assert_eq!(sorted.len(), 4);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

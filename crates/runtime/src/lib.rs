@@ -28,7 +28,9 @@ pub mod ring;
 pub mod supervise;
 pub mod work;
 
-pub use faults::{FaultEvent, FaultLog, LaneStall, RuntimeFaults, SlowWorker, WorkerKill};
+pub use faults::{
+    FaultEvent, FaultLog, LaneStall, MergerKill, MergerStall, RuntimeFaults, SlowWorker, WorkerKill,
+};
 pub use mflow::{ScrReconciler, StatefulMode};
 pub use mflow_error::MflowError;
 pub use mflow_metrics::Telemetry;

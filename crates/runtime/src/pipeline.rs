@@ -100,7 +100,7 @@
 //! dispatcher's planned drops plus the flushed micro-flows.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::sync::Mutex;
 use std::thread;
@@ -205,6 +205,12 @@ pub struct RuntimeConfig {
     /// Rounds of per-packet stateful work ([`crate::work::stateful_stage`]);
     /// 0 disables the stage (both modes then deliver the plain digests).
     pub stateful_work: u32,
+    /// Merger checkpoint interval in accepted offers: every this many
+    /// offers the merger folds its write-ahead delta log into a fresh
+    /// [`MergerState`] snapshot, bounding crash-recovery replay to one
+    /// inter-checkpoint window. Only paid when the merger failure domain
+    /// is armed (supervision on, or merger faults injected).
+    pub checkpoint_every: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -224,6 +230,7 @@ impl Default for RuntimeConfig {
             restart_backoff_ms: 8,
             stateful_mode: StatefulMode::MergeBeforeTcp,
             stateful_work: 0,
+            checkpoint_every: 1024,
         }
     }
 }
@@ -259,6 +266,12 @@ impl RuntimeConfig {
             return Err(MflowError::invalid(
                 "heartbeat_interval_ms",
                 "must be at least 1 (or None to disable)",
+            ));
+        }
+        if self.checkpoint_every < 1 {
+            return Err(MflowError::invalid(
+                "checkpoint_every",
+                "must be at least 1",
             ));
         }
         Ok(())
@@ -333,6 +346,14 @@ pub struct RunOutput {
     pub flushed_mfs: Vec<u64>,
     /// Worker threads that panicked during the run (every incarnation).
     pub workers_died: usize,
+    /// Merger incarnations that panicked during the run. Unlike worker
+    /// deaths these never shrink the pool: the supervisor respawns the
+    /// merger from its last checkpoint, or the dispatcher degrades to
+    /// serial merging when the budget is spent.
+    pub merger_deaths: usize,
+    /// Checkpoints the merger's write-ahead layer folded during the run
+    /// (0 when the failure domain was not armed).
+    pub checkpoints: u64,
     /// Panicked workers whose slot received a supervisor replacement.
     pub workers_respawned: usize,
     /// Panicked workers whose slot stayed empty (no budget, or backoff
@@ -372,6 +393,8 @@ impl RunOutput {
             stateful_serial_ns: 0,
             flushed_mfs: Vec::new(),
             workers_died: 0,
+            merger_deaths: 0,
+            checkpoints: 0,
             workers_respawned: 0,
             workers_abandoned: 0,
             recovery: RecoveryRates::default(),
@@ -550,6 +573,551 @@ impl MergeRx {
                     Err(MuxRecvError::Disconnected) => MergeRecv::Disconnected,
                 }
             }
+        }
+    }
+}
+
+/// The merger's ordering engine. The variant is fixed for the whole run
+/// (it is part of the policy/fault configuration, not of the mutable
+/// state), but the bookkeeping inside is exactly what a crash must not
+/// lose — so the engine lives inside [`MergerState`] and is cloned whole
+/// into every checkpoint.
+#[derive(Clone)]
+enum MergeEngine {
+    /// Per-lane FIFO already is global order (pinned-lane policies on
+    /// benign runs): results stream through unbuffered.
+    Passthrough,
+    /// Merge-before-tcp: the paper's merging counter.
+    Counter(MergeCounter<PacketResult>),
+    /// State-compute replication: seq-watermark reconciler.
+    Reconciler(ScrReconciler<PacketResult>),
+}
+
+/// Everything the merger mutates while the stream is in flight, as one
+/// cloneable snapshot object: the engine (per-lane queues, counter,
+/// flush/dedup windows, SCR watermark and parked set) plus the scalar
+/// counters the merger owns. Restoring a [`MergerState`] and replaying
+/// the delta log reproduces the dead incarnation's trajectory exactly.
+#[derive(Clone)]
+struct MergerState {
+    engine: MergeEngine,
+    /// Stateful mode is SCR (lanes did the stateful stage; arrivals are
+    /// counted as replicated transitions).
+    scr: bool,
+    /// Highest packet seq seen so far, for the `ooo` arrival counter.
+    max_seen: Option<u64>,
+    /// Arrivals that carried a seq below `max_seen`.
+    ooo: u64,
+    /// Replicated stateful transitions observed (SCR only).
+    replicated: u64,
+    /// Busy nanoseconds of the serial merge/reconcile stage.
+    serial_ns: u64,
+    /// Offers applied so far — the WAL's logical clock: checkpoint
+    /// boundaries and injected merger faults are expressed in it.
+    offers: u64,
+}
+
+impl MergerState {
+    fn new(use_counter: bool, scr: bool) -> Self {
+        let engine = if !use_counter {
+            MergeEngine::Passthrough
+        } else if scr {
+            MergeEngine::Reconciler(ScrReconciler::new())
+        } else {
+            MergeEngine::Counter(MergeCounter::new())
+        };
+        Self {
+            engine,
+            scr,
+            max_seen: None,
+            ooo: 0,
+            replicated: 0,
+            serial_ns: 0,
+            offers: 0,
+        }
+    }
+
+    /// Applies one received offer: counters, then the engine. Identical
+    /// whether the offer arrives live or replays from the delta log.
+    fn apply(&mut self, tag: MfTag, result: PacketResult, out: &mut Vec<PacketResult>) {
+        self.offers += 1;
+        if self.scr {
+            self.replicated += 1;
+        }
+        if let Some(max) = self.max_seen {
+            if result.seq < max {
+                self.ooo += 1;
+            }
+        }
+        self.max_seen = Some(self.max_seen.map_or(result.seq, |m| m.max(result.seq)));
+        match &mut self.engine {
+            MergeEngine::Passthrough => out.push(result),
+            MergeEngine::Counter(mc) => {
+                let t = Instant::now();
+                mc.offer(tag, result, out);
+                self.serial_ns += t.elapsed().as_nanos() as u64;
+            }
+            MergeEngine::Reconciler(rc) => {
+                let t = Instant::now();
+                rc.offer(result.seq, result.seq + 1, result, out);
+                self.serial_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Flushes the single most-stalled head (receive-timeout path).
+    fn flush_one(&mut self, out: &mut Vec<PacketResult>) {
+        let t = Instant::now();
+        match &mut self.engine {
+            MergeEngine::Passthrough => {}
+            MergeEngine::Counter(mc) => {
+                mc.flush_one(out);
+            }
+            MergeEngine::Reconciler(rc) => {
+                rc.flush_one(out);
+            }
+        }
+        self.serial_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// End-of-stream flush of everything still parked.
+    fn flush_stalled(&mut self, out: &mut Vec<PacketResult>) {
+        let t = Instant::now();
+        match &mut self.engine {
+            MergeEngine::Passthrough => {}
+            MergeEngine::Counter(mc) => {
+                mc.flush_stalled(out);
+            }
+            MergeEngine::Reconciler(rc) => {
+                rc.flush_stalled(out);
+            }
+        }
+        self.serial_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    fn stats(&self) -> MergeStats {
+        match &self.engine {
+            MergeEngine::Passthrough => MergeStats::default(),
+            MergeEngine::Counter(mc) => mc.stats(),
+            MergeEngine::Reconciler(rc) => rc.stats(),
+        }
+    }
+
+    /// What the engine flushed past: micro-flow IDs (counter) or skipped
+    /// packet seqs (reconciler).
+    fn flushed_list(&self) -> Vec<u64> {
+        match &self.engine {
+            MergeEngine::Passthrough => Vec::new(),
+            MergeEngine::Counter(mc) => mc.flushed_ids().iter().copied().collect(),
+            MergeEngine::Reconciler(rc) => rc
+                .skipped_ranges()
+                .iter()
+                .flat_map(|&(s, e)| s..e)
+                .collect(),
+        }
+    }
+
+    /// Approximate heap footprint of one snapshot, for the
+    /// `snapshot_bytes` telemetry counter.
+    fn approx_bytes(&self) -> u64 {
+        let engine = match &self.engine {
+            MergeEngine::Passthrough => 0,
+            MergeEngine::Counter(mc) => mc.approx_bytes(),
+            MergeEngine::Reconciler(rc) => rc.approx_bytes(),
+        };
+        std::mem::size_of::<Self>() as u64 + engine
+    }
+}
+
+/// The crash-consistent half of the merger failure domain: the last
+/// checkpoint ([`MergerState`] snapshot plus the delivered-output prefix
+/// it corresponds to) and the write-ahead delta log of offers accepted
+/// since. A successor incarnation — or the dispatcher's final serial
+/// merge — reconstructs the exact live state by cloning the snapshot and
+/// replaying the delta, so a crash loses at most nothing: every received
+/// offer is journaled *before* the (possibly fatal) processing step.
+struct MergerDurable {
+    snapshot: MergerState,
+    /// Delivered results as of the last checkpoint — always a strict
+    /// prefix of the live incarnation's output, extended (never cloned)
+    /// at each checkpoint so the whole run costs O(delivered) total.
+    out: Vec<PacketResult>,
+    /// Offers received since the last checkpoint, in arrival order.
+    delta: Vec<Merged>,
+    snapshot_bytes: u64,
+    checkpoints: u64,
+    restores: u64,
+    replayed: u64,
+}
+
+/// Shared coordination block between merger incarnations, the
+/// dispatcher's watchdog, and final assembly.
+struct MergerShared {
+    /// The single receiving end of the merge transport. It must survive
+    /// merger deaths — dropping it would disconnect every producer for
+    /// good — so incarnations *lease* it from this slot and a panic
+    /// returns it on unwind. Possession of the lease is the exclusive
+    /// right to append to the WAL, mutate durable state, or checkpoint.
+    rx_slot: Mutex<Option<MergeRx>>,
+    durable: Mutex<MergerDurable>,
+    /// Incarnation generation: bumped by the watchdog to supersede a
+    /// wedged incarnation, which then exits cleanly at its next check.
+    gen: AtomicU64,
+    /// A (non-superseded) incarnation died holding the lease; cleared
+    /// when the supervisor respawns one.
+    down: AtomicBool,
+    /// The stream was fully consumed and folded into `durable`.
+    eos: AtomicBool,
+    /// Results producers have pushed toward the merge transport.
+    sent: AtomicU64,
+    /// Results the merger side has popped from it.
+    recvd: AtomicU64,
+}
+
+impl MergerShared {
+    fn new(rx: MergeRx, use_counter: bool, scr: bool) -> Self {
+        Self {
+            rx_slot: Mutex::new(Some(rx)),
+            durable: Mutex::new(MergerDurable {
+                snapshot: MergerState::new(use_counter, scr),
+                out: Vec::new(),
+                delta: Vec::new(),
+                snapshot_bytes: 0,
+                checkpoints: 0,
+                restores: 0,
+                replayed: 0,
+            }),
+            gen: AtomicU64::new(0),
+            down: AtomicBool::new(false),
+            eos: AtomicBool::new(false),
+            sent: AtomicU64::new(0),
+            recvd: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the durable block, recovering from a poisoned mutex: the
+    /// WAL protocol keeps `durable` consistent at every instruction
+    /// boundary (the injected kill even panics while holding it), so the
+    /// poison flag carries no information here.
+    fn durable(&self) -> std::sync::MutexGuard<'_, MergerDurable> {
+        self.durable.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII lease on the merge receiver. Dropping the lease — normally or on
+/// panic unwind — returns the receiver to the shared slot; unless the
+/// holder marked the exit `clean` (end of stream, supersession, or a
+/// dispatcher pump), the drop also reports the incarnation dead.
+struct RxLease<'a> {
+    shared: &'a MergerShared,
+    rx: Option<MergeRx>,
+    clean: bool,
+}
+
+impl<'a> RxLease<'a> {
+    fn try_take(shared: &'a MergerShared) -> Option<Self> {
+        let rx = shared
+            .rx_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()?;
+        Some(Self {
+            shared,
+            rx: Some(rx),
+            clean: false,
+        })
+    }
+
+    fn rx(&mut self) -> &mut MergeRx {
+        self.rx.as_mut().expect("leased receiver present until drop")
+    }
+}
+
+impl Drop for RxLease<'_> {
+    fn drop(&mut self) {
+        *self
+            .shared
+            .rx_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = self.rx.take();
+        if !self.clean {
+            self.shared.down.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Folds the live state into the durable block: extend the delivered
+/// prefix, replace the snapshot, clear the WAL.
+fn merger_checkpoint(shared: &MergerShared, state: &MergerState, out: &[PacketResult]) {
+    let mut d = shared.durable();
+    let done = d.out.len();
+    d.out.extend_from_slice(&out[done..]);
+    d.snapshot = state.clone();
+    d.delta.clear();
+    d.checkpoints += 1;
+    d.snapshot_bytes += state.approx_bytes();
+}
+
+/// The body of one merger incarnation. Waits for the receiver lease,
+/// restores from the durable block (snapshot + delta replay), then runs
+/// the receive loop: journal, fault checks, apply, periodic checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn merger_loop(
+    shared: &MergerShared,
+    faults: &RuntimeFaults,
+    beats: &HeartbeatBoard,
+    merger_slot: usize,
+    incarnation: u64,
+    my_gen: u64,
+    flush_timeout: Option<Duration>,
+    wal_on: bool,
+    checkpoint_every: u64,
+) {
+    let mut lease = loop {
+        if shared.gen.load(Ordering::Acquire) != my_gen {
+            return; // superseded before acquiring the lease
+        }
+        if let Some(lease) = RxLease::try_take(shared) {
+            break lease;
+        }
+        // Predecessor still unwinding (or a pump holds the lease): stay
+        // visibly alive while waiting.
+        beats.bump(merger_slot);
+        thread::sleep(Duration::from_micros(50));
+    };
+    // Restore strictly *after* taking the lease: only then is the delta
+    // log guaranteed quiescent (a superseded-but-running predecessor may
+    // journal one more offer right up to releasing the receiver).
+    let (mut state, mut out) = {
+        let mut d = shared.durable();
+        let mut state = d.snapshot.clone();
+        let mut out = d.out.clone();
+        for i in 0..d.delta.len() {
+            let (tag, result) = d.delta[i];
+            state.apply(tag, result, &mut out);
+        }
+        if incarnation > 0 {
+            d.restores += 1;
+            d.replayed += d.delta.len() as u64;
+            faults.note(FaultEvent::SnapshotRestore { incarnation });
+        }
+        (state, out)
+    };
+    loop {
+        if shared.gen.load(Ordering::Acquire) != my_gen {
+            lease.clean = true; // superseded: hand over, not a death
+            return;
+        }
+        match lease.rx().recv(flush_timeout) {
+            MergeRecv::Item((tag, result)) => {
+                beats.bump(merger_slot);
+                shared.recvd.fetch_add(1, Ordering::Relaxed);
+                // Journal before any processing: once in the WAL the
+                // offer survives this incarnation's death — including
+                // the injected one two lines down.
+                if wal_on {
+                    shared.durable().delta.push((tag, result));
+                }
+                let offer_no = state.offers + 1;
+                if faults.merger_kill_fires(incarnation, offer_no) {
+                    faults.note(FaultEvent::MergerDeath { incarnation });
+                    panic!("injected merger death (incarnation {incarnation})");
+                }
+                if let Some(ms) = faults.merger_stall_fires(offer_no) {
+                    faults.note(FaultEvent::MergerStall { offers: offer_no });
+                    thread::sleep(Duration::from_millis(ms));
+                    if shared.gen.load(Ordering::Acquire) != my_gen {
+                        // Superseded while wedged. The offer is already
+                        // journaled; the successor replays it.
+                        lease.clean = true;
+                        return;
+                    }
+                }
+                state.apply(tag, result, &mut out);
+                if wal_on && state.offers % checkpoint_every == 0 {
+                    merger_checkpoint(shared, &state, &out);
+                }
+            }
+            MergeRecv::Timeout => {
+                // An expired recv deadline proves this incarnation is
+                // alive and scheduled — keep the epoch fresh so an
+                // increment-before-send discrepancy from a mid-send
+                // worker death (sent > recvd with an empty transport)
+                // cannot read as a wedge and supersede a healthy
+                // merger once per heartbeat deadline until the shared
+                // restart budget is gone.
+                beats.bump(merger_slot);
+                state.flush_one(&mut out);
+            }
+            MergeRecv::Disconnected => break,
+        }
+    }
+    // End of stream: fold everything into the durable block so final
+    // assembly starts from a clean snapshot with an empty delta.
+    {
+        let mut d = shared.durable();
+        let done = d.out.len();
+        d.out.extend_from_slice(&out[done..]);
+        d.snapshot = state;
+        d.delta.clear();
+    }
+    shared.eos.store(true, Ordering::Release);
+    lease.clean = true;
+}
+
+/// Dispatcher-side non-blocking drain of the merge transport into the
+/// WAL, for when no merger incarnation holds the lease (respawn backed
+/// off, budget exhausted, or supervision disabled entirely): producers
+/// keep moving, and whichever consumer comes next — a respawned merger
+/// or final assembly's serial merge — replays the journaled backlog.
+fn pump_merge_backlog(shared: &MergerShared) {
+    let Some(mut lease) = RxLease::try_take(shared) else {
+        return; // someone else is consuming; nothing to do
+    };
+    lease.clean = true; // a pump exit is never a merger death
+    loop {
+        match lease.rx().recv(Some(Duration::ZERO)) {
+            MergeRecv::Item(item) => {
+                shared.recvd.fetch_add(1, Ordering::Relaxed);
+                shared.durable().delta.push(item);
+            }
+            MergeRecv::Timeout => break,
+            MergeRecv::Disconnected => {
+                // Every producer is gone and the backlog is journaled:
+                // the stream is fully consumed.
+                shared.eos.store(true, Ordering::Release);
+                break;
+            }
+        }
+    }
+}
+
+/// The read-only half of the merger watchdog's context, bundled so the
+/// dispatch loop and the teardown joins can run supervision passes
+/// without a dozen-argument call at every site. `Copy`, so call sites
+/// borrow nothing.
+#[derive(Clone, Copy)]
+struct MergerWatch<'scope, 'env> {
+    s: &'scope thread::Scope<'scope, 'env>,
+    shared: &'env MergerShared,
+    faults: &'env RuntimeFaults,
+    beats: &'env HeartbeatBoard,
+    merger_slot: usize,
+    flush_timeout: Option<Duration>,
+    wal_on: bool,
+    checkpoint_every: u64,
+    merger_depth: usize,
+    supervised: bool,
+    /// Whole watchdog disarmed (benign unsupervised run): every method
+    /// is a no-op and the single merger incarnation runs to EOS exactly
+    /// as the unsupervised pipeline always has.
+    armed: bool,
+}
+
+impl<'scope, 'env> MergerWatch<'scope, 'env> {
+    /// One non-blocking pass: respawn a dead merger from its last
+    /// checkpoint (budget and backoff permitting), degrade to WAL
+    /// pumping when respawn is off the table, supersede a wedged
+    /// incarnation. Called between micro-flows and while joining
+    /// workers, so a merger death can never wedge the pipeline.
+    fn tend(
+        &self,
+        sup: &mut Supervisor,
+        merger_handles: &mut Vec<thread::ScopedJoinHandle<'scope, ()>>,
+        frames_done: u64,
+    ) {
+        if !self.armed || self.shared.eos.load(Ordering::Acquire) {
+            return;
+        }
+        let shared = self.shared;
+        let now = Instant::now();
+        if shared.down.load(Ordering::Acquire) {
+            sup.note_death(self.merger_slot, now, frames_done);
+            if self.supervised && sup.allow_respawn(self.merger_slot, now) {
+                let incarnation = sup.on_respawn(self.merger_slot, now, frames_done);
+                self.faults.note(FaultEvent::MergerRespawn { incarnation });
+                shared.down.store(false, Ordering::Release);
+                let my_gen = shared.gen.load(Ordering::Acquire);
+                let (faults, beats) = (self.faults, self.beats);
+                let (merger_slot, flush_timeout) = (self.merger_slot, self.flush_timeout);
+                let (wal_on, checkpoint_every) = (self.wal_on, self.checkpoint_every);
+                merger_handles.push(self.s.spawn(move || {
+                    merger_loop(
+                        shared,
+                        faults,
+                        beats,
+                        merger_slot,
+                        incarnation,
+                        my_gen,
+                        flush_timeout,
+                        wal_on,
+                        checkpoint_every,
+                    )
+                }));
+            } else if !self.supervised || sup.budget_exhausted() {
+                // Terminal degradation: no respawn is coming. Journal
+                // the backlog so producers never block on a
+                // consumerless transport; final assembly performs the
+                // serial merge from the WAL.
+                pump_merge_backlog(shared);
+            } else if shared
+                .sent
+                .load(Ordering::Relaxed)
+                .saturating_sub(shared.recvd.load(Ordering::Relaxed))
+                > (self.merger_depth / 2) as u64
+            {
+                // Respawn is backed off but the backlog is approaching
+                // transport capacity: drain into the WAL so producers
+                // keep moving. The respawned merger replays the
+                // (larger) delta.
+                pump_merge_backlog(shared);
+            }
+        } else if self.supervised
+            && sup.stale(self.merger_slot, self.beats.read(self.merger_slot), now)
+            && shared.sent.load(Ordering::Relaxed) > shared.recvd.load(Ordering::Relaxed)
+        {
+            // Wedge: results are queued but the merger's heartbeat has
+            // not moved for a full deadline. Supersede the incarnation
+            // (it exits cleanly at its next generation check — every
+            // journaled offer is safe) and let the next pass respawn
+            // from the checkpoint.
+            sup.heartbeat_misses += 1;
+            shared.gen.fetch_add(1, Ordering::AcqRel);
+            shared.down.store(true, Ordering::Release);
+        }
+    }
+
+    /// Joins one worker handle while keeping the merge stream consumed:
+    /// a worker blocked on a full merge transport whose consumer just
+    /// died would otherwise deadlock the join.
+    fn join_tended(
+        &self,
+        h: thread::ScopedJoinHandle<'scope, ()>,
+        sup: &mut Supervisor,
+        merger_handles: &mut Vec<thread::ScopedJoinHandle<'scope, ()>>,
+        frames_done: u64,
+    ) -> thread::Result<()> {
+        while self.armed && !h.is_finished() {
+            self.tend(sup, merger_handles, frames_done);
+            thread::sleep(Duration::from_micros(50));
+        }
+        h.join()
+    }
+
+    /// Runs supervision passes until the stream is fully consumed and
+    /// folded into the durable block. Called after every producer has
+    /// exited, so each pass makes progress: a live merger drains to
+    /// Disconnected, a dead one is respawned or pumped, a wedged one is
+    /// superseded — all of which terminate in `eos`.
+    fn drain_to_eos(
+        &self,
+        sup: &mut Supervisor,
+        merger_handles: &mut Vec<thread::ScopedJoinHandle<'scope, ()>>,
+        frames_done: u64,
+    ) {
+        while self.armed && !self.shared.eos.load(Ordering::Acquire) {
+            self.tend(sup, merger_handles, frames_done);
+            thread::sleep(Duration::from_micros(50));
         }
     }
 }
@@ -949,6 +1517,7 @@ fn apply_worker_faults(
 /// (`scr_work`). `Err` when the merger is gone.
 fn complete_to_merger(
     merge: &mut MergeTx,
+    sent: &AtomicU64,
     staged: StageBatch,
     scr_work: Option<u32>,
 ) -> Result<(), ()> {
@@ -959,6 +1528,9 @@ fn complete_to_merger(
             (tag, apply_scr(r, scr_work))
         })
         .collect();
+    // Count before publishing, so the merger watchdog's backlog signal
+    // (`sent - recvd`) can never under-report queued results.
+    sent.fetch_add(results.len() as u64, Ordering::Relaxed);
     merge.send_all(results)
 }
 
@@ -1037,6 +1609,7 @@ fn forward_shared(
     chain: ChainCtx<'_>,
     slot: usize,
     merge: &mut MergeTx,
+    sent: &AtomicU64,
     staged: StageBatch,
     scr_work: Option<u32>,
 ) -> Result<(), ()> {
@@ -1045,7 +1618,7 @@ fn forward_shared(
         (s.gen, s.tx.take())
     };
     let Some(mut tx) = tx else {
-        return complete_to_merger(merge, staged, scr_work);
+        return complete_to_merger(merge, sent, staged, scr_work);
     };
     // Count the batch as queued before publishing it, so the downstream
     // decrement can never observe the counter early.
@@ -1073,7 +1646,7 @@ fn forward_shared(
                     s.tx = None;
                 }
             }
-            complete_to_merger(merge, bounced, scr_work)
+            complete_to_merger(merge, sent, bounced, scr_work)
         }
     }
 }
@@ -1086,6 +1659,7 @@ fn fanout_worker_loop(
     incarnation: u64,
     mut rx: LaneRx<Batch>,
     mut tx: MergeTx,
+    sent: &AtomicU64,
     faults: &RuntimeFaults,
     depths: &[AtomicUsize],
     beats: &HeartbeatBoard,
@@ -1102,6 +1676,7 @@ fn fanout_worker_loop(
         for (tag, frame) in batch {
             results.push((tag, apply_scr(process_frame(&frame), scr_work)));
         }
+        sent.fetch_add(results.len() as u64, Ordering::Relaxed);
         if tx.send_all(results).is_err() {
             // Merger gone; nothing useful left to do.
             return;
@@ -1118,6 +1693,7 @@ fn chain_head_loop(
     head_group: usize,
     mut rx: LaneRx<Batch>,
     mut merge: MergeTx,
+    sent: &AtomicU64,
     faults: &RuntimeFaults,
     depths: &[AtomicUsize],
     beats: &HeartbeatBoard,
@@ -1133,7 +1709,7 @@ fn chain_head_loop(
             .into_iter()
             .map(|(tag, frame)| (tag, StagedWork::Raw(frame).advance_n(head_group)))
             .collect();
-        if forward_shared(chain, 0, &mut merge, staged, scr_work).is_err() {
+        if forward_shared(chain, 0, &mut merge, sent, staged, scr_work).is_err() {
             return;
         }
         processed += 1;
@@ -1150,6 +1726,7 @@ fn chain_worker_loop(
     my_group: usize,
     mut rx: LaneRx<StageBatch>,
     mut merge: MergeTx,
+    sent: &AtomicU64,
     faults: &RuntimeFaults,
     beats: &HeartbeatBoard,
     chain: ChainCtx<'_>,
@@ -1164,7 +1741,7 @@ fn chain_worker_loop(
             .into_iter()
             .map(|(tag, w)| (tag, w.advance_n(my_group)))
             .collect();
-        if forward_shared(chain, slot, &mut merge, staged, scr_work).is_err() {
+        if forward_shared(chain, slot, &mut merge, sent, staged, scr_work).is_err() {
             return;
         }
         processed += 1;
@@ -1278,11 +1855,25 @@ pub fn process_parallel_faulty(
             )
         }
     };
+    // Merger failure domain: armed whenever the merger can actually die
+    // or wedge — supervision on, or merger faults injected. Both of
+    // those force `use_counter`, so a passthrough merger never pays for
+    // the write-ahead layer. The receiver itself moves into a shared
+    // slot that incarnations lease; producer senders stay valid across
+    // merger deaths, which is what makes re-attachment implicit.
+    let wal_on = supervised || faults.merger_faults_active();
+    let merger_watch = wal_on;
+    let checkpoint_every = cfg.checkpoint_every;
+    let merger_depth = cfg.merger_depth;
+    let merger_slot = n_threads;
+    let shared_store = MergerShared::new(merge_rx, use_counter, scr);
+    let shared = &shared_store;
     // Per-lane queue depths, the watermark signal for backpressure.
     let depths: Vec<AtomicUsize> = (0..n_lanes).map(|_| AtomicUsize::new(0)).collect();
     let depths = &depths;
-    // Per-slot heartbeat epochs, the watchdog's liveness signal.
-    let beats = HeartbeatBoard::new(n_threads);
+    // Per-slot heartbeat epochs, the watchdog's liveness signal. The
+    // extra slot past the workers is the merger's.
+    let beats = HeartbeatBoard::new(n_threads + 1);
     let beats = &beats;
     // FALCON chain wiring: worker i applies stage group i and forwards to
     // worker i+1 through a shared, re-wireable link slot; the tail
@@ -1327,7 +1918,18 @@ pub fn process_parallel_faulty(
             handles.push((
                 0,
                 s.spawn(move || {
-                    chain_head_loop(0, head_group, rx, tx, faults, depths, beats, chain, scr_work)
+                    chain_head_loop(
+                        0,
+                        head_group,
+                        rx,
+                        tx,
+                        &shared.sent,
+                        faults,
+                        depths,
+                        beats,
+                        chain,
+                        scr_work,
+                    )
                 }),
             ));
             // Interior and tail workers.
@@ -1337,7 +1939,18 @@ pub fn process_parallel_faulty(
                 handles.push((
                     slot,
                     s.spawn(move || {
-                        chain_worker_loop(slot, 0, my_group, rx, tx, faults, beats, chain, scr_work)
+                        chain_worker_loop(
+                            slot,
+                            0,
+                            my_group,
+                            rx,
+                            tx,
+                            &shared.sent,
+                            faults,
+                            beats,
+                            chain,
+                            scr_work,
+                        )
                     }),
                 ));
             }
@@ -1348,133 +1961,55 @@ pub fn process_parallel_faulty(
                 handles.push((
                     slot,
                     s.spawn(move || {
-                        fanout_worker_loop(slot, 0, rx, tx, faults, depths, beats, scr_work)
+                        fanout_worker_loop(
+                            slot,
+                            0,
+                            rx,
+                            tx,
+                            &shared.sent,
+                            faults,
+                            depths,
+                            beats,
+                            scr_work,
+                        )
                     }),
                 ));
             }
         }
 
-        // Merger thread: merging-counter reassembly with flush recovery,
-        // a seq-watermark reconciler under SCR, or plain passthrough when
-        // order cannot be perturbed. Under merge-before-tcp the stateful
-        // stage runs here, serially, after the merge — the paper's
-        // single-core bottleneck; under SCR the lanes already ran it.
-        let merger = s.spawn(move || {
-            let mut merge_rx = merge_rx;
-            let mut out = Vec::new();
-            let mut max_seen: Option<u64> = None;
-            let mut ooo = 0u64;
-            let mut replicated = 0u64;
-            let mut serial_ns = 0u64;
-            if !use_counter {
-                while let MergeRecv::Item((_tag, result)) = merge_rx.recv(None) {
-                    if scr {
-                        replicated += 1;
-                    }
-                    if let Some(m) = max_seen {
-                        if result.seq < m {
-                            ooo += 1;
-                        }
-                    }
-                    max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
-                    out.push(result);
-                }
-                if !scr {
-                    let t = Instant::now();
-                    for r in &mut out {
-                        *r = stateful_stage(*r, sw);
-                    }
-                    serial_ns += t.elapsed().as_nanos() as u64;
-                }
-                return (out, MergeStats::default(), ooo, Vec::new(), replicated, serial_ns);
-            }
-            if scr {
-                // Every arrival is a lane-computed stateful transition;
-                // the reconciler's per-stream watermark emits each seq
-                // exactly once, in order, and discards replicated or
-                // redispatched duplicates.
-                let mut rc: ScrReconciler<PacketResult> = ScrReconciler::new();
-                loop {
-                    let (_tag, result) = match merge_rx.recv(flush_timeout) {
-                        MergeRecv::Item(msg) => msg,
-                        MergeRecv::Timeout => {
-                            // No arrivals for a full deadline: force the
-                            // watermark past whatever seq is lost.
-                            let t = Instant::now();
-                            rc.flush_one(&mut out);
-                            serial_ns += t.elapsed().as_nanos() as u64;
-                            continue;
-                        }
-                        MergeRecv::Disconnected => break,
-                    };
-                    let t = Instant::now();
-                    replicated += 1;
-                    if let Some(m) = max_seen {
-                        if result.seq < m {
-                            ooo += 1;
-                        }
-                    }
-                    max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
-                    rc.offer(result.seq, result.seq + 1, result, &mut out);
-                    serial_ns += t.elapsed().as_nanos() as u64;
-                }
-                if flush_timeout.is_some() || faults.is_active() || supervised {
-                    let t = Instant::now();
-                    rc.flush_stalled(&mut out);
-                    serial_ns += t.elapsed().as_nanos() as u64;
-                }
-                // Under SCR the flushed list holds skipped packet seqs,
-                // not micro-flow ids: the reconciler tracks the stream
-                // position, not the batch structure.
-                let flushed: Vec<u64> = rc
-                    .skipped_ranges()
-                    .iter()
-                    .flat_map(|&(start, end)| start..end)
-                    .collect();
-                return (out, rc.stats(), ooo, flushed, replicated, serial_ns);
-            }
-            let mut mc: MergeCounter<PacketResult> = MergeCounter::new();
-            loop {
-                let (tag, result) = match merge_rx.recv(flush_timeout) {
-                    MergeRecv::Item(msg) => msg,
-                    MergeRecv::Timeout => {
-                        // No arrivals for a full deadline: stop waiting
-                        // for whatever the counter is stuck on and
-                        // release parked successors.
-                        let t = Instant::now();
-                        mc.flush_one(&mut out);
-                        serial_ns += t.elapsed().as_nanos() as u64;
-                        continue;
-                    }
-                    MergeRecv::Disconnected => break,
-                };
-                let t = Instant::now();
-                if let Some(m) = max_seen {
-                    if result.seq < m {
-                        ooo += 1;
-                    }
-                }
-                max_seen = Some(max_seen.map_or(result.seq, |m| m.max(result.seq)));
-                mc.offer(tag, result, &mut out);
-                serial_ns += t.elapsed().as_nanos() as u64;
-            }
-            // End of stream: flush whatever loss left stuck so nothing
-            // stays parked forever.
-            if flush_timeout.is_some() || faults.is_active() || supervised {
-                let t = Instant::now();
-                mc.flush_stalled(&mut out);
-                serial_ns += t.elapsed().as_nanos() as u64;
-            }
-            let flushed: Vec<u64> = mc.flushed_ids().iter().copied().collect();
-            // The serial stateful stage proper: merge-before-tcp pays it
-            // here, after reassembly, packet by packet in order.
-            let t = Instant::now();
-            for r in &mut out {
-                *r = stateful_stage(*r, sw);
-            }
-            serial_ns += t.elapsed().as_nanos() as u64;
-            (out, mc.stats(), ooo, flushed, replicated, serial_ns)
-        });
+        // Merger incarnation 0: merging-counter reassembly with flush
+        // recovery, a seq-watermark reconciler under SCR, or plain
+        // passthrough when order cannot be perturbed — all inside
+        // [`MergerState`], behind the receiver lease. Every incarnation
+        // restores from the shared durable block; the watchdog spawns
+        // successors from the same block when one dies or wedges.
+        let watch = MergerWatch {
+            s,
+            shared,
+            faults,
+            beats,
+            merger_slot,
+            flush_timeout,
+            wal_on,
+            checkpoint_every,
+            merger_depth,
+            supervised,
+            armed: merger_watch,
+        };
+        let mut merger_handles: Vec<thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+        merger_handles.push(s.spawn(move || {
+            merger_loop(
+                shared,
+                faults,
+                beats,
+                merger_slot,
+                0,
+                0,
+                flush_timeout,
+                wal_on,
+                checkpoint_every,
+            )
+        }));
 
         // Dispatcher: this thread plays the IRQ core's first half.
         // Orphaned batches go inline in chain mode (the chain has one
@@ -1495,15 +2030,20 @@ pub fn process_parallel_faulty(
             for (tag, frame) in batch {
                 results.push((tag, apply_scr(process_frame(&frame), scr_work)));
             }
+            shared.sent.fetch_add(results.len() as u64, Ordering::Relaxed);
             let _ = tx.send_all(results);
         };
+        // One supervision slot per worker plus the merger's; the respawn
+        // budget is one shared pool across both failure domains, but the
+        // restart and recovery-time counters split per domain.
         let mut sup = Supervisor::new(
-            n_threads,
+            n_threads + 1,
             cfg.heartbeat_interval_ms.map(Duration::from_millis),
             cfg.restart_budget,
             Duration::from_millis(cfg.restart_backoff_ms),
             start,
         );
+        sup.watch_merger(merger_slot);
         let mut fault_drops = 0u64;
         let mut mf_id = 0u64;
         let mut lane = 0usize;
@@ -1609,7 +2149,14 @@ pub fn process_parallel_faulty(
                                         slot,
                                         s.spawn(move || {
                                             fanout_worker_loop(
-                                                slot, inc, rx, mtx, faults, depths, beats,
+                                                slot,
+                                                inc,
+                                                rx,
+                                                mtx,
+                                                &shared.sent,
+                                                faults,
+                                                depths,
+                                                beats,
                                                 scr_work,
                                             )
                                         }),
@@ -1639,8 +2186,16 @@ pub fn process_parallel_faulty(
                                     0,
                                     s.spawn(move || {
                                         chain_head_loop(
-                                            inc, head_group, rx, mtx, faults, depths, beats,
-                                            chain, scr_work,
+                                            inc,
+                                            head_group,
+                                            rx,
+                                            mtx,
+                                            &shared.sent,
+                                            faults,
+                                            depths,
+                                            beats,
+                                            chain,
+                                            scr_work,
                                         )
                                     }),
                                 ));
@@ -1693,8 +2248,16 @@ pub fn process_parallel_faulty(
                                         slot,
                                         s.spawn(move || {
                                             chain_worker_loop(
-                                                slot, inc, my_group, rx, mtx, faults, beats,
-                                                chain, scr_work,
+                                                slot,
+                                                inc,
+                                                my_group,
+                                                rx,
+                                                mtx,
+                                                &shared.sent,
+                                                faults,
+                                                beats,
+                                                chain,
+                                                scr_work,
                                             )
                                         }),
                                     ));
@@ -1703,6 +2266,11 @@ pub fn process_parallel_faulty(
                         }
                     }
                 }
+                // The merger's own watchdog pass, on the same cadence:
+                // armed even unsupervised when merger faults are
+                // injected, so a merger death degrades to WAL pumping
+                // instead of wedging the run.
+                watch.tend(&mut sup, &mut merger_handles, i as u64);
                 // Batches that lost their only reachable worker (chain
                 // mode, or a supervised run out of restart budget) come
                 // back for inline processing instead of being dropped.
@@ -1752,7 +2320,10 @@ pub fn process_parallel_faulty(
                     remaining.into_iter().partition(|(owner, _)| *owner == slot);
                 remaining = rest;
                 for (_, h) in mine {
-                    if h.join().is_err() {
+                    if watch
+                        .join_tended(h, &mut sup, &mut merger_handles, n as u64)
+                        .is_err()
+                    {
                         deaths_by_slot[slot] += 1;
                     }
                 }
@@ -1765,7 +2336,10 @@ pub fn process_parallel_faulty(
             }
         } else {
             for (slot, h) in handles {
-                if h.join().is_err() {
+                if watch
+                    .join_tended(h, &mut sup, &mut merger_handles, n as u64)
+                    .is_err()
+                {
                     deaths_by_slot[slot] += 1;
                 }
             }
@@ -1779,22 +2353,35 @@ pub fn process_parallel_faulty(
         let (workers_respawned, workers_abandoned) = sup.classify_deaths(&deaths_by_slot);
         let lane_depths: Vec<usize> =
             depths.iter().map(|d| d.load(Ordering::Relaxed)).collect();
-        let merged = match merger.join() {
-            Ok(r) => r,
-            // The merger has no injected faults: a panic there is a real
-            // bug, surfaced as an error instead of a propagated abort.
-            Err(_) => return Err(MflowError::MergerPoisoned),
-        };
+        // Every producer is gone; keep supervising until the stream is
+        // fully consumed and folded into the durable block (a kill near
+        // the end of the stream is respawned or pumped here), then join
+        // every merger incarnation.
+        watch.drain_to_eos(&mut sup, &mut merger_handles, n as u64);
+        let mut merger_deaths = 0usize;
+        for h in merger_handles {
+            if h.join().is_err() {
+                merger_deaths += 1;
+            }
+        }
+        if merger_deaths > 0 && !merger_watch {
+            // An unarmed merger has no injected faults and no respawn
+            // path: a panic there is a real bug, surfaced as an error
+            // instead of a propagated abort.
+            return Err(MflowError::MergerPoisoned);
+        }
         let supervision = (
             sup.restarts,
             sup.heartbeat_misses,
             sup.recovery_ns,
+            sup.merger_restarts,
+            sup.merger_recovery_ns,
             workers_respawned,
             workers_abandoned,
             sup.rates(start, dispatch_done, n as u64),
         );
         Ok((
-            merged,
+            merger_deaths,
             fault_drops,
             redispatched,
             workers_died,
@@ -1810,10 +2397,18 @@ pub fn process_parallel_faulty(
             ),
         ))
     });
-    let (merged, fault_drops, redispatched, workers_died, lane_depths, supervision, bp) =
+    let (merger_deaths, fault_drops, redispatched, workers_died, lane_depths, supervision, bp) =
         scope_out?;
-    let (restarts, heartbeat_misses, recovery_ns, workers_respawned, workers_abandoned, recovery) =
-        supervision;
+    let (
+        restarts,
+        heartbeat_misses,
+        recovery_ns,
+        merger_restarts,
+        merger_recovery_ns,
+        workers_respawned,
+        workers_abandoned,
+        recovery,
+    ) = supervision;
     let (shed_packets, sheds, inline_batches, inline_packets, block_fallbacks, backpressure_events) =
         bp;
     // A chain run survives total worker loss through the dispatcher's
@@ -1824,13 +2419,57 @@ pub fn process_parallel_faulty(
         return Err(MflowError::NoLiveWorkers);
     }
 
-    let (digests, mstats, ooo, flushed_mfs, replicated, stateful_serial_ns) = merged;
+    // Final assembly, on this thread, from the durable block: restore
+    // the last snapshot, replay whatever the delta log still holds (the
+    // serial-merge degradation path — empty after any clean merger EOS),
+    // drain transport residue a non-blocking pump may have left (every
+    // producer is gone, so this terminates), then flush and run the
+    // serial stateful stage exactly as the merger always has.
+    let MergerShared {
+        rx_slot, durable, ..
+    } = shared_store;
+    let mut dur = durable.into_inner().unwrap_or_else(|e| e.into_inner());
+    let final_replay = dur.delta.len() as u64;
+    if final_replay > 0 {
+        dur.restores += 1;
+        dur.replayed += final_replay;
+    }
+    let mut state = dur.snapshot;
+    let mut out = dur.out;
+    for (tag, result) in dur.delta {
+        state.apply(tag, result, &mut out);
+    }
+    if let Some(mut rx) = rx_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        while let MergeRecv::Item((tag, result)) = rx.recv(None) {
+            state.apply(tag, result, &mut out);
+        }
+    }
+    // End of stream: flush whatever loss left stuck so nothing stays
+    // parked forever.
+    if flush_timeout.is_some() || faults.is_active() || supervised {
+        state.flush_stalled(&mut out);
+    }
+    let flushed_mfs = state.flushed_list();
+    // The serial stateful stage proper: merge-before-tcp pays it here,
+    // after reassembly, packet by packet in order — timed into the same
+    // serial_ns the incarnations accumulated, so the counter spans
+    // merger respawns. (Under SCR the lanes already ran the stage.)
+    if !scr {
+        let t = Instant::now();
+        for r in &mut out {
+            *r = stateful_stage(*r, sw);
+        }
+        state.serial_ns += t.elapsed().as_nanos() as u64;
+    }
+    let mstats = state.stats();
+    let digests = out;
+
     let (desplits, resplits) = policy.desplit_stats();
     let telemetry = Telemetry {
         policy: policy.name().to_string(),
         stateful_mode: cfg.stateful_mode.name().to_string(),
         delivered: digests.len() as u64,
-        ooo,
+        ooo: state.ooo,
         flushed: flushed_mfs.len() as u64,
         late: mstats.late_drops,
         dup: mstats.dup_drops,
@@ -1844,16 +2483,22 @@ pub fn process_parallel_faulty(
         restarts,
         heartbeat_misses,
         recovery_ns,
-        replicated_transitions: replicated,
+        merger_restarts,
+        merger_recovery_ns,
+        snapshot_bytes: dur.snapshot_bytes,
+        restore_replayed_offers: dur.replayed,
+        replicated_transitions: state.replicated,
         reconciled_dups: if scr { mstats.dup_drops } else { 0 },
         lane_depths: lane_depths.iter().map(|&d| d as u64).collect(),
     };
     Ok(RunOutput {
         digests,
         elapsed: start.elapsed(),
-        stateful_serial_ns,
+        stateful_serial_ns: state.serial_ns,
         flushed_mfs,
         workers_died,
+        merger_deaths,
+        checkpoints: dur.checkpoints,
         workers_respawned,
         workers_abandoned,
         recovery,
@@ -1868,7 +2513,7 @@ pub fn process_parallel_faulty(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::WorkerKill;
+    use crate::faults::{MergerKill, MergerStall, WorkerKill};
     use crate::packet::generate_frames;
 
     /// Both transports, for exercising every scenario over each.
@@ -2348,5 +2993,223 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fanout.telemetry.lane_depths.len(), 4);
+    }
+
+    /// Supervision knobs shared by the merger failure-domain tests.
+    fn merger_test_cfg(transport: Transport) -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 3,
+            batch_size: 32,
+            queue_depth: 4,
+            heartbeat_interval_ms: Some(25),
+            restart_budget: 8,
+            restart_backoff_ms: 1,
+            transport,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_rejected() {
+        let cfg = RuntimeConfig {
+            checkpoint_every: 0,
+            ..RuntimeConfig::default()
+        };
+        let err = process_parallel(&[], &cfg).unwrap_err();
+        assert_eq!(err.field(), Some("checkpoint_every"));
+    }
+
+    #[test]
+    fn benign_supervised_run_checkpoints_but_never_replays() {
+        let frames = generate_frames(2_000, 32);
+        let serial = process_serial(&frames);
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                checkpoint_every: 256,
+                ..merger_test_cfg(transport)
+            };
+            let out = process_parallel(&frames, &cfg).unwrap();
+            assert_eq!(out.digests, serial.digests, "{transport:?}");
+            assert_eq!(out.merger_deaths, 0);
+            assert_eq!(out.telemetry.merger_restarts, 0);
+            assert_eq!(out.telemetry.restore_replayed_offers, 0);
+            assert!(out.checkpoints > 0, "armed run must checkpoint");
+            assert!(out.telemetry.snapshot_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn killed_merger_respawns_from_checkpoint_with_exact_output() {
+        let frames = generate_frames(3_000, 32);
+        let serial = process_serial(&frames);
+        let mut faults = RuntimeFaults::none();
+        faults.merger_kill = Some(MergerKill {
+            after_offers: 100,
+            incarnation: 0,
+        });
+        for transport in TRANSPORTS {
+            let out =
+                process_parallel_faulty(&frames, &merger_test_cfg(transport), &faults).unwrap();
+            assert_eq!(
+                out.digests, serial.digests,
+                "recovered stream must be byte-identical ({transport:?})"
+            );
+            assert_eq!(out.merger_deaths, 1, "{transport:?}");
+            assert!(out.telemetry.merger_restarts >= 1, "{transport:?}");
+            // The fatal offer was journaled before the panic, so the
+            // successor replays at least the whole first window.
+            assert!(
+                out.telemetry.restore_replayed_offers >= 100,
+                "replayed only {} ({transport:?})",
+                out.telemetry.restore_replayed_offers
+            );
+            assert_eq!(out.telemetry.residue, 0);
+        }
+    }
+
+    #[test]
+    fn merger_kills_on_successive_incarnations_all_heal() {
+        let frames = generate_frames(3_000, 32);
+        let serial = process_serial(&frames);
+        let mut faults = RuntimeFaults::none();
+        faults.merger_kills = vec![
+            MergerKill {
+                after_offers: 64,
+                incarnation: 0,
+            },
+            MergerKill {
+                after_offers: 512,
+                incarnation: 1,
+            },
+        ];
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                checkpoint_every: 128,
+                ..merger_test_cfg(transport)
+            };
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            assert_eq!(out.digests, serial.digests, "{transport:?}");
+            assert_eq!(out.merger_deaths, 2, "{transport:?}");
+            assert_eq!(out.telemetry.residue, 0);
+        }
+    }
+
+    #[test]
+    fn unsupervised_merger_kill_degrades_to_dispatcher_merge() {
+        // No supervision at all: the injected fault still arms the WAL
+        // and the watchdog, so the death degrades to the dispatcher
+        // journaling the backlog and final assembly performing the
+        // serial merge — never MergerPoisoned, never a wedge.
+        let frames = generate_frames(2_000, 32);
+        let serial = process_serial(&frames);
+        let mut faults = RuntimeFaults::none();
+        faults.merger_kill = Some(MergerKill {
+            after_offers: 50,
+            incarnation: 0,
+        });
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                workers: 3,
+                batch_size: 32,
+                queue_depth: 4,
+                transport,
+                ..RuntimeConfig::default()
+            };
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            assert_eq!(out.digests, serial.digests, "{transport:?}");
+            assert_eq!(out.merger_deaths, 1);
+            assert_eq!(
+                out.telemetry.merger_restarts, 0,
+                "unsupervised runs must not respawn"
+            );
+            assert!(
+                out.telemetry.restore_replayed_offers >= 50,
+                "the journaled stream must be replayed serially"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_pumps_instead_of_respawning() {
+        // Heartbeats on but zero respawn budget: the death is detected,
+        // respawn is off the table, and the watchdog must degrade to
+        // pumping the transport so producers never block forever.
+        let frames = generate_frames(2_000, 32);
+        let serial = process_serial(&frames);
+        let mut faults = RuntimeFaults::none();
+        faults.merger_kill = Some(MergerKill {
+            after_offers: 50,
+            incarnation: 0,
+        });
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                restart_budget: 0,
+                ..merger_test_cfg(transport)
+            };
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            assert_eq!(out.digests, serial.digests, "{transport:?}");
+            assert_eq!(out.merger_deaths, 1);
+            assert_eq!(out.telemetry.merger_restarts, 0);
+        }
+    }
+
+    #[test]
+    fn stalled_merger_is_superseded_without_a_death() {
+        // A wedge (no heartbeat movement with results queued) is healed
+        // by generation supersession: the stuck incarnation exits
+        // cleanly at its next gen check — the wedged offer is already
+        // journaled — and the successor replays it. No panic anywhere.
+        let frames = generate_frames(2_000, 32);
+        let serial = process_serial(&frames);
+        let mut faults = RuntimeFaults::none();
+        faults.merger_stall = Some(MergerStall {
+            after_offers: 50,
+            ms: 300,
+        });
+        for transport in TRANSPORTS {
+            let cfg = RuntimeConfig {
+                heartbeat_interval_ms: Some(20),
+                ..merger_test_cfg(transport)
+            };
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            assert_eq!(out.digests, serial.digests, "{transport:?}");
+            assert_eq!(out.merger_deaths, 0, "a supersede is not a death");
+            assert!(
+                out.telemetry.merger_restarts >= 1,
+                "the wedge must be healed by a respawn ({transport:?})"
+            );
+            assert!(out.telemetry.heartbeat_misses >= 1);
+        }
+    }
+
+    #[test]
+    fn merger_failure_domain_covers_every_policy() {
+        // The respawn path must preserve byte-identical delivery under
+        // every steering topology, including the chains whose teardown
+        // overlaps merger supervision.
+        let frames = generate_frames(2_000, 32);
+        let serial = process_serial(&frames);
+        let mut faults = RuntimeFaults::none();
+        faults.merger_kill = Some(MergerKill {
+            after_offers: 80,
+            incarnation: 0,
+        });
+        for transport in TRANSPORTS {
+            for policy in PolicyKind::ALL {
+                let cfg = RuntimeConfig {
+                    policy,
+                    checkpoint_every: 64,
+                    ..merger_test_cfg(transport)
+                };
+                let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+                assert_eq!(out.digests, serial.digests, "{policy} ({transport:?})");
+                // Passthrough policies bypass the merge engine entirely
+                // (no counter, no WAL), so the kill never fires there.
+                if out.merger_deaths > 0 {
+                    assert!(out.telemetry.merger_restarts >= 1, "{policy}");
+                }
+                assert_eq!(out.telemetry.residue, 0, "{policy} ({transport:?})");
+            }
+        }
     }
 }

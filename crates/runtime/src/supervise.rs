@@ -94,12 +94,23 @@ pub(crate) struct Supervisor {
     /// Base backoff; doubles per respawn of the same slot.
     backoff: Duration,
     slots: Vec<SlotHealth>,
-    /// Total respawns performed (the `Telemetry::restarts` counter).
+    /// Which slot (if any) is the merger rather than a worker. Deaths
+    /// and respawns of this slot are accounted in the merger failure
+    /// domain (`merger_restarts` / `merger_recovery_ns`) instead of the
+    /// worker-domain counters, while sharing the same restart budget and
+    /// backoff machinery.
+    merger_slot: Option<usize>,
+    /// Worker respawns performed (the `Telemetry::restarts` counter).
     pub restarts: u64,
     /// Stall declarations (the `Telemetry::heartbeat_misses` counter).
     pub heartbeat_misses: u64,
-    /// Worst observed death-to-respawn gap in nanoseconds.
+    /// Worst observed death-to-respawn gap in nanoseconds, worker domain.
     pub recovery_ns: u64,
+    /// Merger respawns performed (the `Telemetry::merger_restarts`
+    /// counter).
+    pub merger_restarts: u64,
+    /// Worst observed death-to-respawn gap in nanoseconds, merger domain.
+    pub merger_recovery_ns: u64,
     /// First observed death: `(when, frames dispatched so far)`.
     first_death: Option<(Instant, u64)>,
     /// Most recent respawn: `(when, frames dispatched so far)`.
@@ -134,13 +145,30 @@ impl Supervisor {
                     died_at: None,
                 })
                 .collect(),
+            merger_slot: None,
             restarts: 0,
             heartbeat_misses: 0,
             recovery_ns: 0,
+            merger_restarts: 0,
+            merger_recovery_ns: 0,
             first_death: None,
             last_heal: None,
             respawns_by_slot: vec![0; n_slots],
         }
+    }
+
+    /// Marks `slot` as the merger failure domain (see
+    /// [`Supervisor::merger_slot`]).
+    pub(crate) fn watch_merger(&mut self, slot: usize) {
+        self.merger_slot = Some(slot);
+    }
+
+    /// Whether the shared restart budget is spent. The pipeline's
+    /// degradation ladder branches on this: a dead merger with budget
+    /// left waits for a respawn; one without degrades to dispatcher-side
+    /// serial merging.
+    pub(crate) fn budget_exhausted(&self) -> bool {
+        self.budget_left == 0
     }
 
     /// Heartbeat check: true when the slot's epoch has not moved for
@@ -183,10 +211,17 @@ impl Supervisor {
     /// backoff, folds the death-to-respawn gap into `recovery_ns`, and
     /// returns the new incarnation number.
     pub(crate) fn on_respawn(&mut self, slot: usize, now: Instant, frames_done: u64) -> u64 {
+        let merger = self.merger_slot == Some(slot);
         let s = &mut self.slots[slot];
         if let Some(died) = s.died_at.take() {
             let gap = now.duration_since(died).as_nanos() as u64;
-            self.recovery_ns = self.recovery_ns.max(gap);
+            // Per-domain recovery split: the merger's healing latency is
+            // tracked apart from the workers' so neither masks the other.
+            if merger {
+                self.merger_recovery_ns = self.merger_recovery_ns.max(gap);
+            } else {
+                self.recovery_ns = self.recovery_ns.max(gap);
+            }
         }
         s.incarnation += 1;
         s.respawns += 1;
@@ -194,7 +229,11 @@ impl Supervisor {
         let shift = (s.respawns - 1).min(BACKOFF_SHIFT_CAP);
         s.next_allowed = now + self.backoff * (1u32 << shift);
         self.budget_left -= 1;
-        self.restarts += 1;
+        if merger {
+            self.merger_restarts += 1;
+        } else {
+            self.restarts += 1;
+        }
         self.respawns_by_slot[slot] += 1;
         self.last_heal = Some((now, frames_done));
         s.incarnation
@@ -339,5 +378,31 @@ mod tests {
         let (respawned, abandoned) = sup.classify_deaths(&[1, 2, 0]);
         assert_eq!(respawned, 2);
         assert_eq!(abandoned, 1);
+    }
+
+    #[test]
+    fn merger_slot_splits_the_recovery_domains() {
+        let t0 = Instant::now();
+        // 2 worker slots + 1 merger slot, shared budget of 3.
+        let mut sup = Supervisor::new(3, None, 3, Duration::ZERO, t0);
+        sup.watch_merger(2);
+        // A worker death heals into the worker domain.
+        sup.note_death(0, t0 + Duration::from_millis(1), 10);
+        sup.on_respawn(0, t0 + Duration::from_millis(3), 10);
+        // A merger death heals into the merger domain, with a longer gap.
+        sup.note_death(2, t0 + Duration::from_millis(5), 20);
+        sup.on_respawn(2, t0 + Duration::from_millis(10), 20);
+        assert_eq!(sup.restarts, 1);
+        assert_eq!(sup.merger_restarts, 1);
+        assert_eq!(sup.recovery_ns, 2_000_000);
+        assert_eq!(sup.merger_recovery_ns, 5_000_000);
+        // The budget is shared across domains.
+        assert!(!sup.budget_exhausted());
+        sup.on_respawn(2, t0 + Duration::from_millis(11), 21);
+        assert!(sup.budget_exhausted());
+        // classify_deaths only sees worker slots; the merger's respawns
+        // never leak into the worker classification.
+        let (respawned, abandoned) = sup.classify_deaths(&[1, 0]);
+        assert_eq!((respawned, abandoned), (1, 0));
     }
 }

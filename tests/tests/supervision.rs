@@ -13,8 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use mflow_runtime::{
-    generate_frames, process_parallel_faulty, process_serial, FaultLog, Frame, PolicyKind,
-    RuntimeConfig, RuntimeFaults, Transport, WorkerKill,
+    generate_frames, process_parallel_faulty, process_serial, FaultLog, Frame, MergerKill,
+    PolicyKind, RuntimeConfig, RuntimeFaults, Transport, WorkerKill,
 };
 use proptest::prelude::*;
 
@@ -353,6 +353,52 @@ fn fault_schedule_is_transport_invariant() {
             "{policy}: same seed produced different fault schedules across transports"
         );
     }
+}
+
+#[test]
+fn merger_fault_schedule_is_transport_invariant() {
+    // Merger kills are keyed to absolute applied-offer counts, so the
+    // full death/respawn/restore lifecycle — which incarnations died,
+    // which replaced them, which restored — must come out identical
+    // under Mpsc and Ring. Kills only: wedge (stall) healing is
+    // wall-clock-driven and legitimately timing-dependent. The stall
+    // watchdog stays off (budget-only supervision) so a loaded host
+    // cannot inject spurious supersede events, and `merger_depth` keeps
+    // the dispatcher's backlog pump idle so every consumed offer is a
+    // merger incarnation's.
+    let frames = generate_frames(1_200, 64);
+    let mut logs = Vec::new();
+    for transport in TRANSPORTS {
+        let cfg = RuntimeConfig {
+            merger_depth: 8192,
+            heartbeat_interval_ms: None,
+            ..supervised_cfg(PolicyKind::Mflow, transport)
+        };
+        let log = FaultLog::new();
+        let mut faults = RuntimeFaults::none();
+        faults.merger_kills = vec![
+            MergerKill {
+                after_offers: 150,
+                incarnation: 0,
+            },
+            MergerKill {
+                after_offers: 500,
+                incarnation: 1,
+            },
+        ];
+        faults.log = Some(log.clone());
+        process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+        logs.push(log.sorted());
+    }
+    assert!(
+        logs[0].len() >= 6,
+        "two kills must log two deaths, two respawns and two restores: {:?}",
+        logs[0]
+    );
+    assert_eq!(
+        logs[0], logs[1],
+        "merger lifecycle diverged across transports"
+    );
 }
 
 proptest! {
