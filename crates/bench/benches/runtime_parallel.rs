@@ -10,7 +10,7 @@ use mflow_runtime::{
 
 fn bench_workers(c: &mut Criterion) {
     let frames = generate_frames(4_096, 1_400);
-    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let bytes: u64 = frames.iter().map(|f| f.bytes().len() as u64).sum();
     let mut group = c.benchmark_group("runtime_scaling");
     group.throughput(Throughput::Bytes(bytes));
     group.sample_size(10);
@@ -37,7 +37,7 @@ fn bench_workers(c: &mut Criterion) {
 
 fn bench_batch_size(c: &mut Criterion) {
     let frames = generate_frames(4_096, 1_400);
-    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let bytes: u64 = frames.iter().map(|f| f.bytes().len() as u64).sum();
     let mut group = c.benchmark_group("runtime_batch_size");
     group.throughput(Throughput::Bytes(bytes));
     group.sample_size(10);
@@ -61,7 +61,7 @@ fn bench_transport(c: &mut Criterion) {
     // readable sweep (`mflow_cli --bench-transport`) is the artifact CI
     // gates on; this group gives the interactive `cargo bench` view.
     let frames = generate_frames(4_096, 256);
-    let bytes: u64 = frames.iter().map(|f| f.bytes.len() as u64).sum();
+    let bytes: u64 = frames.iter().map(|f| f.bytes().len() as u64).sum();
     let mut group = c.benchmark_group("runtime_transport");
     group.throughput(Throughput::Bytes(bytes));
     group.sample_size(10);

@@ -5,6 +5,7 @@
 //! Everything here is deterministic and allocation-light so it can be used
 //! inside the discrete-event hot loop.
 
+pub mod alloc;
 pub mod cpu;
 pub mod hist;
 pub mod series;
@@ -14,6 +15,7 @@ pub mod telemetry;
 pub mod throughput;
 pub mod timeseries;
 
+pub use alloc::CountingAlloc;
 pub use cpu::{CpuAccounting, CpuBreakdownRow};
 pub use hist::LatencyHistogram;
 pub use series::{DataPoint, Series, SeriesSet};

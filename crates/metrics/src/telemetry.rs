@@ -64,6 +64,15 @@
 ///   lane that performed it — duplicated dispatches replicate too).
 /// * `reconciled_dups` — replicated transitions the reconciler
 ///   discarded as already emitted (exactly-once enforcement).
+/// * `dispatch_mode` — when the dispatcher reads packet bytes:
+///   `post-parse` (dispatcher parses and flow-hashes before steering) or
+///   `packet-request` (IRQ splitting: the dispatcher round-robins buffer
+///   descriptors and workers parse in parallel; runtime engine).
+/// * `pool_recycled` — packet-buffer slots returned to the buffer pool's
+///   free list during the run (runtime engine; zero without a pool).
+/// * `pool_misses` — packet allocations that fell back to the heap
+///   because the pool was exhausted or the frame oversized (runtime
+///   engine; zero without a pool).
 /// * `lane_depths` — end-of-run per-lane backlog (runtime: batches per
 ///   worker queue; simulator: segments per split lane).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -93,6 +102,10 @@ pub struct Telemetry {
     pub stateful_mode: String,
     pub replicated_transitions: u64,
     pub reconciled_dups: u64,
+    /// Dispatch-side parse placement: `post-parse` or `packet-request`.
+    pub dispatch_mode: String,
+    pub pool_recycled: u64,
+    pub pool_misses: u64,
     pub lane_depths: Vec<u64>,
 }
 
@@ -102,6 +115,7 @@ impl Telemetry {
         Self {
             policy: policy.into(),
             stateful_mode: "merge-before-tcp".into(),
+            dispatch_mode: "post-parse".into(),
             ..Self::default()
         }
     }
@@ -109,7 +123,7 @@ impl Telemetry {
     /// The scalar counter keys, in serialization order. Exposed so tests
     /// and the bench harness can verify every engine emits the same
     /// schema without parsing JSON.
-    pub const SCALAR_KEYS: [&'static str; 21] = [
+    pub const SCALAR_KEYS: [&'static str; 23] = [
         "delivered",
         "ooo",
         "flushed",
@@ -131,9 +145,11 @@ impl Telemetry {
         "restore_replayed_offers",
         "replicated_transitions",
         "reconciled_dups",
+        "pool_recycled",
+        "pool_misses",
     ];
 
-    fn scalars(&self) -> [u64; 21] {
+    fn scalars(&self) -> [u64; 23] {
         [
             self.delivered,
             self.ooo,
@@ -156,6 +172,8 @@ impl Telemetry {
             self.restore_replayed_offers,
             self.replicated_transitions,
             self.reconciled_dups,
+            self.pool_recycled,
+            self.pool_misses,
         ]
     }
 
@@ -175,6 +193,10 @@ impl Telemetry {
         out.push_str(&format!(
             ", \"stateful_mode\": \"{}\"",
             escape(&self.stateful_mode)
+        ));
+        out.push_str(&format!(
+            ", \"dispatch_mode\": \"{}\"",
+            escape(&self.dispatch_mode)
         ));
         for (key, value) in Self::SCALAR_KEYS.iter().zip(self.scalars()) {
             out.push_str(&format!(", \"{key}\": {value}"));

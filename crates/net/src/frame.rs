@@ -135,41 +135,61 @@ fn build_inner(spec: &OverlayFrameSpec) -> Vec<u8> {
 
 /// Builds a complete VXLAN-encapsulated overlay frame.
 pub fn build_overlay_frame(spec: &OverlayFrameSpec) -> Vec<u8> {
+    let mut frame = Vec::new();
+    build_overlay_frame_into(spec, &mut frame);
+    frame
+}
+
+/// Builds a VXLAN overlay frame into `out` (cleared first), so a caller
+/// streaming frames into a buffer pool can reuse one scratch vector
+/// instead of allocating per frame.
+pub fn build_overlay_frame_into(spec: &OverlayFrameSpec, out: &mut Vec<u8>) {
     let mut tunnel_payload = Vec::new();
     VxlanHeader::new(spec.vni).encode(&mut tunnel_payload);
-    encapsulate(spec, VXLAN_PORT, tunnel_payload)
+    encapsulate_into(spec, VXLAN_PORT, tunnel_payload, out);
 }
 
 /// Builds a Geneve-encapsulated overlay frame (RFC 8926) with the same
 /// inner packet — MFLOW's stateless-path mechanisms are tunnel-agnostic.
 pub fn build_geneve_frame(spec: &OverlayFrameSpec) -> Vec<u8> {
+    let mut frame = Vec::new();
+    build_geneve_frame_into(spec, &mut frame);
+    frame
+}
+
+/// Geneve counterpart of [`build_overlay_frame_into`].
+pub fn build_geneve_frame_into(spec: &OverlayFrameSpec, out: &mut Vec<u8>) {
     let mut tunnel_payload = Vec::new();
     GeneveHeader::new(spec.vni).encode(&mut tunnel_payload);
-    encapsulate(spec, GENEVE_PORT, tunnel_payload)
+    encapsulate_into(spec, GENEVE_PORT, tunnel_payload, out);
 }
 
 /// Wraps the inner frame in outer Ethernet/IPv4/UDP around the given
-/// tunnel header bytes.
-fn encapsulate(spec: &OverlayFrameSpec, dst_port: u16, mut tunnel_payload: Vec<u8>) -> Vec<u8> {
+/// tunnel header bytes, writing the wire frame into `out`.
+fn encapsulate_into(
+    spec: &OverlayFrameSpec,
+    dst_port: u16,
+    mut tunnel_payload: Vec<u8>,
+    frame: &mut Vec<u8>,
+) {
     let inner = build_inner(spec);
     tunnel_payload.extend_from_slice(&inner);
 
-    let mut frame = Vec::with_capacity(
-        EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + tunnel_payload.len(),
-    );
+    frame.clear();
+    frame.reserve(EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + tunnel_payload.len());
     EthernetHeader {
         dst: spec.outer_dst_mac,
         src: spec.outer_src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .encode(&mut frame);
+    .encode(frame);
     Ipv4Header::simple(
         spec.outer_src_ip,
         spec.outer_dst_ip,
         PROTO_UDP,
         UdpHeader::LEN + tunnel_payload.len(),
     )
-    .encode(&mut frame);
+    .encode(frame);
     UdpHeader::for_payload(
         spec.outer_src_port,
         dst_port,
@@ -177,9 +197,8 @@ fn encapsulate(spec: &OverlayFrameSpec, dst_port: u16, mut tunnel_payload: Vec<u
         spec.outer_dst_ip,
         &tunnel_payload,
     )
-    .encode(&mut frame);
+    .encode(frame);
     frame.extend_from_slice(&tunnel_payload);
-    frame
 }
 
 /// Builds a native (non-encapsulated) frame with the inner addressing.
@@ -205,13 +224,59 @@ pub struct ParsedOverlay {
     pub payload: Vec<u8>,
 }
 
-/// Parses and fully verifies an overlay frame: outer IP checksum, outer UDP
-/// checksum, tunnel header (VXLAN or Geneve, selected by the outer UDP
-/// destination port), inner IP checksum, inner transport checksum.
+/// The borrowed view [`parse_overlay_frame_ref`] returns: identical header
+/// fields to [`ParsedOverlay`], but the payload is a slice into the frame
+/// buffer — the zero-copy shape the runtime's per-packet work runs on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedOverlayRef<'a> {
+    pub outer_flow: FlowKey,
+    /// Outer Ethernet addressing (the host NICs).
+    pub outer_src_mac: MacAddr,
+    pub outer_dst_mac: MacAddr,
+    pub vni: u32,
+    pub inner_flow: FlowKey,
+    /// Inner Ethernet addressing (the veth endpoints; the virtual bridge
+    /// forwards on `inner_dst_mac`).
+    pub inner_src_mac: MacAddr,
+    pub inner_dst_mac: MacAddr,
+    /// TCP sequence number (zero for UDP).
+    pub tcp_seq: u32,
+    /// The decapsulated application payload, borrowed from the frame.
+    pub payload: &'a [u8],
+}
+
+impl ParsedOverlayRef<'_> {
+    /// Copies the view into an owned [`ParsedOverlay`].
+    pub fn to_parsed(&self) -> ParsedOverlay {
+        ParsedOverlay {
+            outer_flow: self.outer_flow,
+            outer_src_mac: self.outer_src_mac,
+            outer_dst_mac: self.outer_dst_mac,
+            vni: self.vni,
+            inner_flow: self.inner_flow,
+            inner_src_mac: self.inner_src_mac,
+            inner_dst_mac: self.inner_dst_mac,
+            tcp_seq: self.tcp_seq,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// Parses and fully verifies an overlay frame, allocating an owned copy of
+/// the payload. Re-expressed over [`parse_overlay_frame_ref`]; callers on
+/// a hot path should use the borrowed view directly.
+pub fn parse_overlay_frame(frame: &[u8]) -> Result<ParsedOverlay, ParseError> {
+    parse_overlay_frame_ref(frame).map(|r| r.to_parsed())
+}
+
+/// Parses and fully verifies an overlay frame without copying: outer IP
+/// checksum, outer UDP checksum, tunnel header (VXLAN or Geneve, selected
+/// by the outer UDP destination port), inner IP checksum, inner transport
+/// checksum. The returned payload borrows from `frame`.
 ///
 /// This is the byte-level ground truth the simulator's decapsulation stage
 /// models the cost of.
-pub fn parse_overlay_frame(frame: &[u8]) -> Result<ParsedOverlay, ParseError> {
+pub fn parse_overlay_frame_ref(frame: &[u8]) -> Result<ParsedOverlayRef<'_>, ParseError> {
     let (outer_eth, rest) = EthernetHeader::parse(frame)?;
     if outer_eth.ethertype != EtherType::Ipv4 {
         return Err(ParseError::Malformed("outer ethertype"));
@@ -255,7 +320,7 @@ pub fn parse_overlay_frame(frame: &[u8]) -> Result<ParsedOverlay, ParseError> {
             (
                 FlowKey::tcp(inner_ip.src, tcp.src_port, inner_ip.dst, tcp.dst_port),
                 tcp.seq,
-                payload.to_vec(),
+                payload,
             )
         }
         PROTO_UDP => {
@@ -271,12 +336,12 @@ pub fn parse_overlay_frame(frame: &[u8]) -> Result<ParsedOverlay, ParseError> {
             (
                 FlowKey::udp(inner_ip.src, udp.src_port, inner_ip.dst, udp.dst_port),
                 0,
-                payload.to_vec(),
+                payload,
             )
         }
         _ => return Err(ParseError::Malformed("inner protocol")),
     };
-    Ok(ParsedOverlay {
+    Ok(ParsedOverlayRef {
         outer_flow: FlowKey::udp(
             outer_ip.src,
             outer_udp.src_port,
@@ -346,6 +411,31 @@ mod tests {
             Err(_) => {}
             Ok(p) => assert_ne!(p, reference, "corruption silently accepted"),
         }
+    }
+
+    #[test]
+    fn ref_parser_agrees_with_owned_and_borrows_from_the_frame() {
+        for build in [build_overlay_frame, build_geneve_frame] {
+            let spec = OverlayFrameSpec::example_tcp(2, 55, b"zero copy".to_vec());
+            let frame = build(&spec);
+            let r = parse_overlay_frame_ref(&frame).unwrap();
+            assert_eq!(r.to_parsed(), parse_overlay_frame(&frame).unwrap());
+            // The payload is a true slice into the frame allocation.
+            let base = frame.as_ptr() as usize;
+            let p = r.payload.as_ptr() as usize;
+            assert!(p >= base && p + r.payload.len() <= base + frame.len());
+        }
+    }
+
+    #[test]
+    fn build_into_reuses_the_scratch_vec() {
+        let mut scratch = Vec::new();
+        let a = OverlayFrameSpec::example_tcp(1, 1, vec![1; 32]);
+        build_overlay_frame_into(&a, &mut scratch);
+        assert_eq!(scratch, build_overlay_frame(&a));
+        let b = OverlayFrameSpec::example_udp(9, vec![2; 1000]);
+        build_geneve_frame_into(&b, &mut scratch);
+        assert_eq!(scratch, build_geneve_frame(&b));
     }
 
     #[test]

@@ -74,6 +74,22 @@ const MAX_CAPLEN: usize = 0x0400_0000; // 64 MiB
 /// [`ParseError::Truncated`]. All offset arithmetic is checked, so a
 /// `caplen` near `usize::MAX` cannot wrap a bounds test into passing.
 pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, PcapRecords), crate::ParseError> {
+    let mut records = Vec::new();
+    let (version, linktype) = visit_pcap_records(data, |ts_ns, frame| {
+        records.push((ts_ns, frame.to_vec()));
+    })?;
+    Ok((version, linktype, records))
+}
+
+/// Streams a pcap byte stream record by record without copying: the
+/// visitor receives `(ts_ns, frame)` with the frame borrowed from `data`,
+/// so a replay path can build each record straight into a pooled buffer.
+/// Returns `(version, linktype)`. [`parse_pcap`] is re-expressed over
+/// this, so both share the same totality guarantees.
+pub fn visit_pcap_records(
+    data: &[u8],
+    mut visit: impl FnMut(u64, &[u8]),
+) -> Result<(u16, u32), crate::ParseError> {
     use crate::ParseError;
     if data.len() < 24 {
         return Err(ParseError::Truncated);
@@ -84,7 +100,6 @@ pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, PcapRecords), crate::ParseEr
     }
     let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
     let linktype = u32::from_le_bytes(data[20..24].try_into().unwrap());
-    let mut records = Vec::new();
     let mut off = 24usize;
     while off < data.len() {
         // A capture may not end inside a record header: that is a
@@ -104,10 +119,10 @@ pub fn parse_pcap(data: &[u8]) -> Result<(u16, u32, PcapRecords), crate::ParseEr
         if body_end > data.len() {
             return Err(ParseError::Truncated);
         }
-        records.push((secs * 1_000_000_000 + usecs * 1_000, data[off..body_end].to_vec()));
+        visit(secs * 1_000_000_000 + usecs * 1_000, &data[off..body_end]);
         off = body_end;
     }
-    Ok((version, linktype, records))
+    Ok((version, linktype))
 }
 
 #[cfg(test)]

@@ -98,13 +98,27 @@ impl TcpHeader {
     }
 
     /// Verifies the checksum of header + payload against the pseudo-header.
+    ///
+    /// Allocation-free: the header's wire words are folded straight into
+    /// the running sum (they are the same big-endian u16s `encode` would
+    /// emit — including the `data offset | flags` word and the zero
+    /// urgent pointer), and the payload is summed in place. The header
+    /// is an even number of bytes, so the payload's word alignment is
+    /// unchanged.
     pub fn verify(&self, src_ip: [u8; 4], dst_ip: [u8; 4], payload: &[u8]) -> bool {
         let len = (Self::LEN + payload.len()) as u16;
         let pseudo = checksum::pseudo_header_sum(src_ip, dst_ip, PROTO_TCP, len);
-        let mut bytes = Vec::with_capacity(Self::LEN + payload.len());
-        self.encode(&mut bytes);
-        bytes.extend_from_slice(payload);
-        checksum::ones_complement_sum(&bytes, pseudo) == 0xFFFF
+        let header = pseudo
+            + self.src_port as u32
+            + self.dst_port as u32
+            + (self.seq >> 16)
+            + (self.seq & 0xFFFF)
+            + (self.ack >> 16)
+            + (self.ack & 0xFFFF)
+            + (((5u32 << 4) << 8) | self.flags as u32)
+            + self.window as u32
+            + self.checksum as u32;
+        checksum::ones_complement_sum(payload, header) == 0xFFFF
     }
 
     /// True if the ACK flag is set.

@@ -72,15 +72,22 @@ impl UdpHeader {
     }
 
     /// Verifies the checksum of header + payload against the pseudo-header.
+    ///
+    /// Allocation-free: the header's wire words are folded straight into
+    /// the running sum (they are the same big-endian u16s `encode` would
+    /// emit), and the payload is summed in place. The header is an even
+    /// number of bytes, so the payload's word alignment is unchanged.
     pub fn verify(&self, src_ip: [u8; 4], dst_ip: [u8; 4], payload: &[u8]) -> bool {
         if self.checksum == 0 {
             return true; // checksum not computed by sender
         }
         let pseudo = checksum::pseudo_header_sum(src_ip, dst_ip, PROTO_UDP, self.length);
-        let mut bytes = Vec::with_capacity(Self::LEN + payload.len());
-        self.encode(&mut bytes);
-        bytes.extend_from_slice(payload);
-        checksum::ones_complement_sum(&bytes, pseudo) == 0xFFFF
+        let header = pseudo
+            + self.src_port as u32
+            + self.dst_port as u32
+            + self.length as u32
+            + self.checksum as u32;
+        checksum::ones_complement_sum(payload, header) == 0xFFFF
     }
 }
 

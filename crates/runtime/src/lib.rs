@@ -24,6 +24,7 @@
 pub mod faults;
 pub mod packet;
 pub mod pipeline;
+pub mod pool;
 pub mod ring;
 pub mod supervise;
 pub mod work;
@@ -35,10 +36,11 @@ pub use mflow::{ScrReconciler, StatefulMode};
 pub use mflow_error::MflowError;
 pub use mflow_metrics::Telemetry;
 pub use mflow_steering::{PolicyKind, SteeringPolicy};
-pub use packet::{generate_frames, Frame};
+pub use packet::{frame_wire_len, frames_from_pcap, generate_frames, generate_frames_into, Frame};
 pub use pipeline::{
     process_parallel, process_parallel_faulty, process_serial, process_serial_stateful,
-    BackpressurePolicy, RecoveryRates, RunOutput, RuntimeConfig, Transport,
+    BackpressurePolicy, DispatchMode, RecoveryRates, RunOutput, RuntimeConfig, Transport,
 };
+pub use pool::{BufPool, PktBuf, PoolStats};
 pub use supervise::HeartbeatBoard;
 pub use work::{process_frame, stateful_stage, PacketResult};

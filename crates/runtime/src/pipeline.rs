@@ -128,6 +128,46 @@ pub enum Transport {
     Ring,
 }
 
+/// When in the packet's life the dispatcher reads its bytes — MFLOW's
+/// two softirq-splitting designs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// The dispatcher parses every frame itself (computes the real flow
+    /// hash before steering), then hands parsed-context batches to the
+    /// workers — today's behavior, analogous to splitting after the
+    /// protocol demux.
+    #[default]
+    PostParse,
+    /// IRQ splitting: the dispatcher never touches frame bytes. It
+    /// round-robins lightweight packet *requests* (pooled-buffer
+    /// descriptors) across lanes, and each worker performs the parse,
+    /// flow-hash, and steering-feedback work in parallel. Steering sees
+    /// a constant surrogate hash at dispatch time, so flow-affine
+    /// policies pin the stream to one lane (per-lane FIFO holds) while
+    /// the hash-indifferent MFLOW policy still spreads every batch.
+    PacketRequest,
+}
+
+impl DispatchMode {
+    /// Stable lowercase name, as reported in [`Telemetry`] and accepted
+    /// by [`Self::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchMode::PostParse => "post-parse",
+            DispatchMode::PacketRequest => "packet-request",
+        }
+    }
+
+    /// Parses a CLI spelling of the mode.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "post-parse" | "postparse" | "post_parse" => Some(DispatchMode::PostParse),
+            "packet-request" | "pktreq" | "packet_request" => Some(DispatchMode::PacketRequest),
+            _ => None,
+        }
+    }
+}
+
 /// What the dispatcher does when a lane is at its watermark (or its queue
 /// is outright full).
 ///
@@ -177,6 +217,10 @@ pub struct RuntimeConfig {
     pub inline_fallback: bool,
     /// Cross-core handoff primitive for every lane.
     pub transport: Transport,
+    /// Where per-packet parsing happens: on the dispatcher before
+    /// steering (`PostParse`) or on the workers, with the dispatcher
+    /// reduced to descriptor round-robin (`PacketRequest`).
+    pub dispatch_mode: DispatchMode,
     /// Worker→merger queue capacity in results. Power of two (the ring
     /// transport masks indices with it); under `Mpsc` it is the shared
     /// channel's bound, under `Ring` each producer's ring holds this
@@ -223,6 +267,7 @@ impl Default for RuntimeConfig {
             high_watermark: None,
             inline_fallback: false,
             transport: Transport::Mpsc,
+            dispatch_mode: DispatchMode::PostParse,
             merger_depth: 4096,
             policy: PolicyKind::Mflow,
             heartbeat_interval_ms: None,
@@ -435,6 +480,17 @@ fn build_policy(kind: PolicyKind) -> Result<Box<dyn SteeringPolicy>, MflowError>
     }
 }
 
+/// The shared steering-policy cell: the dispatcher steers through it,
+/// and in packet-request mode the workers feed observations back through
+/// it after parsing.
+type PolicyCell = Mutex<Box<dyn SteeringPolicy>>;
+
+/// Locks the policy cell, ignoring poisoning — a worker panicking
+/// between observe calls leaves the policy structurally valid.
+fn lock_policy(cell: &PolicyCell) -> std::sync::MutexGuard<'_, Box<dyn SteeringPolicy>> {
+    cell.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// One micro-flow's tagged frames, as sent to a worker.
 type Batch = Vec<(MfTag, Frame)>;
 /// One micro-flow part-way through the staged pipeline, as forwarded
@@ -577,6 +633,11 @@ impl MergeRx {
     }
 }
 
+/// Sampling interval for the merger's serial-stage busy clock: one in
+/// this many offers is timed and weighted by the interval (see
+/// [`MergerState::apply`]).
+const SERIAL_NS_SAMPLE: u64 = 64;
+
 /// The merger's ordering engine. The variant is fixed for the whole run
 /// (it is part of the policy/fault configuration, not of the mutable
 /// state), but the bookkeeping inside is exactly what a crash must not
@@ -639,6 +700,15 @@ impl MergerState {
 
     /// Applies one received offer: counters, then the engine. Identical
     /// whether the offer arrives live or replays from the delta log.
+    ///
+    /// `serial_ns` is sampled, not exhaustively timed: clocking every
+    /// offer puts two clock reads on the per-packet merge path, which at
+    /// pooled zero-copy rates costs more than the engine work it
+    /// measures. Every [`SERIAL_NS_SAMPLE`]th offer is timed and
+    /// weighted by the interval — the busy-time comparisons that
+    /// consume `serial_ns` (scr vs merge-before-tcp) aggregate
+    /// thousands of uniform offers per point, where the sampled
+    /// estimate converges on the exhaustive one.
     fn apply(&mut self, tag: MfTag, result: PacketResult, out: &mut Vec<PacketResult>) {
         self.offers += 1;
         if self.scr {
@@ -650,17 +720,19 @@ impl MergerState {
             }
         }
         self.max_seen = Some(self.max_seen.map_or(result.seq, |m| m.max(result.seq)));
+        let t = self.offers.is_multiple_of(SERIAL_NS_SAMPLE).then(Instant::now);
         match &mut self.engine {
             MergeEngine::Passthrough => out.push(result),
             MergeEngine::Counter(mc) => {
-                let t = Instant::now();
                 mc.offer(tag, result, out);
-                self.serial_ns += t.elapsed().as_nanos() as u64;
             }
             MergeEngine::Reconciler(rc) => {
-                let t = Instant::now();
                 rc.offer(result.seq, result.seq + 1, result, out);
-                self.serial_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+        if let Some(t) = t {
+            if !matches!(self.engine, MergeEngine::Passthrough) {
+                self.serial_ns += t.elapsed().as_nanos() as u64 * SERIAL_NS_SAMPLE;
             }
         }
     }
@@ -1664,12 +1736,23 @@ fn fanout_worker_loop(
     depths: &[AtomicUsize],
     beats: &HeartbeatBoard,
     scr_work: Option<u32>,
+    observe: Option<&PolicyCell>,
 ) {
     let mut processed = 0u64;
     while let Some(batch) = rx.recv() {
         depth_dec(&depths[slot]);
         beats.bump(slot);
         apply_worker_faults(faults, slot, incarnation, processed, batch.first().map(|(t, _)| t.id));
+        if let Some(cell) = observe {
+            // Packet-request dispatch: this worker is the first thread
+            // to read the frame bytes, so it performs the flow-hash and
+            // steering feedback the dispatcher deferred. Every policy
+            // ignores the lane argument, so the physical slot is fine.
+            if let Some((tag, frame)) = batch.first() {
+                let hash = frame.try_flow_hash().unwrap_or(0);
+                lock_policy(cell).observe(tag.id, hash, slot, batch.len());
+            }
+        }
         // Whole-batch processing, whole-batch publish: one merge-side
         // handoff per micro-flow, not per packet.
         let mut results = Vec::with_capacity(batch.len());
@@ -1770,7 +1853,7 @@ pub fn process_parallel_faulty(
     faults: &RuntimeFaults,
 ) -> Result<RunOutput, MflowError> {
     cfg.validate()?;
-    let mut policy = build_policy(cfg.policy)?;
+    let policy = build_policy(cfg.policy)?;
     let start = Instant::now();
     let n_workers = cfg.workers;
     // FALCON pipelines stages across a worker chain instead of fanning
@@ -1904,6 +1987,27 @@ pub fn process_parallel_faulty(
         dead_gens: &dead_gens,
     };
 
+    // Packet-request dispatch (IRQ splitting): the dispatcher steers on
+    // a constant surrogate hash without reading frame bytes, and the
+    // workers perform the flow-hash + steering feedback after parsing.
+    // The policy moves into a shared cell for that feedback path; lock
+    // traffic is one uncontended acquisition per micro-flow batch.
+    // Structural reads (`stage_groups`, `reorders`) happened above,
+    // before the move.
+    let pkt_req = cfg.dispatch_mode == DispatchMode::PacketRequest;
+    let policy_store = Mutex::new(policy);
+    let policy_cell = &policy_store;
+    let worker_observe = if pkt_req && chain_len == 0 {
+        Some(policy_cell)
+    } else {
+        None
+    };
+
+    // Buffer-pool telemetry: snapshot the frames' pool so the run can
+    // report the recycle and heap-fallback deltas it caused.
+    let frame_pool = frames.iter().find_map(|f| f.buf().pool());
+    let pool_before = frame_pool.as_ref().map(|p| p.stats());
+
     let scope_out = thread::scope(|s| {
         // Worker handles tagged with their slot, so join-time panics can
         // be attributed per slot even after respawns reorder the list.
@@ -1971,6 +2075,7 @@ pub fn process_parallel_faulty(
                             depths,
                             beats,
                             scr_work,
+                            worker_observe,
                         )
                     }),
                 ));
@@ -2026,6 +2131,14 @@ pub fn process_parallel_faulty(
             let batch = d.retag(batch);
             d.inline_batches += 1;
             d.inline_packets += batch.len() as u64;
+            if pkt_req {
+                // The inline path is the parsing thread for this batch,
+                // so it owes the policy the deferred observation.
+                if let Some((tag, frame)) = batch.first() {
+                    let hash = frame.try_flow_hash().unwrap_or(0);
+                    lock_policy(policy_cell).observe(tag.id, hash, tag.lane, batch.len());
+                }
+            }
             let mut results = Vec::with_capacity(batch.len());
             for (tag, frame) in batch {
                 results.push((tag, apply_scr(process_frame(&frame), scr_work)));
@@ -2066,12 +2179,19 @@ pub fn process_parallel_faulty(
                     // A micro-flow opens: ask the policy for its lane,
                     // with a fresh view of per-lane occupancy. The tag
                     // carries the lane's merge-counter id, which diverges
-                    // from the physical slot after a respawn.
-                    cur_hash = frame.flow_hash();
+                    // from the physical slot after a respawn. Under
+                    // packet-request dispatch the frame bytes stay
+                    // untouched here: steering sees a constant surrogate
+                    // hash, so flow-affine policies pin the stream to one
+                    // lane (per-lane FIFO preserves order) and the real
+                    // hash is computed by the worker that parses.
+                    cur_hash = if pkt_req { 0 } else { frame.flow_hash() };
                     for (snap, depth) in depth_snap.iter_mut().zip(depths.iter()) {
                         *snap = depth.load(Ordering::Relaxed);
                     }
-                    lane = policy.steer(mf_id, cur_hash, &depth_snap).min(n_lanes - 1);
+                    lane = lock_policy(policy_cell)
+                        .steer(mf_id, cur_hash, &depth_snap)
+                        .min(n_lanes - 1);
                     tag_lane = d.tag_lane(lane);
                 }
                 batch.push((
@@ -2102,7 +2222,13 @@ pub fn process_parallel_faulty(
                     }
                     // Completion feedback: the policy hears what it
                     // placed (rate accounting for elephant detection).
-                    policy.observe(mf_id, cur_hash, lane, placed);
+                    // In packet-request mode that feedback comes from
+                    // whichever thread parses the batch — a worker, or
+                    // the dispatcher's own inline path — with the real
+                    // flow hash.
+                    if !pkt_req {
+                        lock_policy(policy_cell).observe(mf_id, cur_hash, lane, placed);
+                    }
                 }
                 let due: Vec<Batch> = {
                     let mut rest = Vec::new();
@@ -2158,6 +2284,7 @@ pub fn process_parallel_faulty(
                                                 depths,
                                                 beats,
                                                 scr_work,
+                                                worker_observe,
                                             )
                                         }),
                                     ));
@@ -2399,6 +2526,11 @@ pub fn process_parallel_faulty(
     });
     let (merger_deaths, fault_drops, redispatched, workers_died, lane_depths, supervision, bp) =
         scope_out?;
+    // Every scoped thread has joined; reclaim the policy for its
+    // end-of-run reads.
+    let policy = policy_store
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
     let (
         restarts,
         heartbeat_misses,
@@ -2465,9 +2597,25 @@ pub fn process_parallel_faulty(
     let digests = out;
 
     let (desplits, resplits) = policy.desplit_stats();
+    // Buffer-pool deltas attributable to this run: counters only grow,
+    // but saturate anyway so a shared pool raced by another run cannot
+    // underflow the report.
+    let (pool_recycled, pool_misses) = match (&frame_pool, pool_before) {
+        (Some(p), Some(before)) => {
+            let now = p.stats();
+            (
+                now.recycled.saturating_sub(before.recycled),
+                now.misses.saturating_sub(before.misses),
+            )
+        }
+        _ => (0, 0),
+    };
     let telemetry = Telemetry {
         policy: policy.name().to_string(),
         stateful_mode: cfg.stateful_mode.name().to_string(),
+        dispatch_mode: cfg.dispatch_mode.name().to_string(),
+        pool_recycled,
+        pool_misses,
         delivered: digests.len() as u64,
         ooo: state.ooo,
         flushed: flushed_mfs.len() as u64,

@@ -547,6 +547,14 @@ impl<T> RingMux<T> {
 
     /// One round-robin sweep, draining up to [`MUX_BATCH`] per ring into
     /// the scratch queue. Returns how many items arrived.
+    ///
+    /// Terminally dead rings — producer handle dropped and nothing left
+    /// to pop — are pruned from the sweep set. A respawned worker is
+    /// wired in through a *fresh* ring (`MuxRegistrar::add_producer`),
+    /// never by reviving an old one, so `closed && empty` can never
+    /// un-happen; without pruning, every supervised respawn would leave
+    /// a dead ring to probe on every sweep for the rest of the run,
+    /// capping post-recovery merge throughput.
     fn refill(&mut self) -> usize {
         self.absorb_pending();
         let n = self.rings.len();
@@ -554,11 +562,24 @@ impl<T> RingMux<T> {
             return 0;
         }
         let mut got = 0;
+        let mut saw_dead = false;
         for k in 0..n {
             let i = (self.next + k) % n;
-            got += self.rings[i].pop_batch(&mut self.scratch, MUX_BATCH);
+            let popped = self.rings[i].pop_batch(&mut self.scratch, MUX_BATCH);
+            if popped == 0 && self.rings[i].producer_closed() && !self.rings[i].has_item() {
+                saw_dead = true;
+            }
+            got += popped;
         }
         self.next = (self.next + 1) % n;
+        if saw_dead {
+            // Closed-before-emptiness ordering as in `all_drained`: a
+            // ring observed closed and empty cannot receive a final
+            // publish, so dropping its consumer loses nothing.
+            self.rings
+                .retain_mut(|r| !r.producer_closed() || r.has_item());
+            self.next = 0;
+        }
         got
     }
 

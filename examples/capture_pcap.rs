@@ -19,14 +19,14 @@ fn main() -> std::io::Result<()> {
     // Space the frames at 100 Gbps wire pacing for a realistic timeline.
     let mut ts = 0u64;
     for f in &frames {
-        ts += (f.bytes.len() as u64 * 8) / 100 + 1; // ns at 100 Gbps
-        w.write_frame(ts, &f.bytes)?;
+        ts += (f.bytes().len() as u64 * 8) / 100 + 1; // ns at 100 Gbps
+        w.write_frame(ts, f.bytes())?;
     }
     let n = w.frames();
     w.finish()?;
     println!(
         "wrote {n} VXLAN-encapsulated TCP frames ({} bytes each) to {path}",
-        frames[0].bytes.len()
+        frames[0].bytes().len()
     );
     println!("inspect with: tshark -r {path} -V | head -60");
     Ok(())

